@@ -1,0 +1,94 @@
+// Command genet-bench regenerates the tables and figures of the Genet paper
+// from this reproduction.
+//
+// Usage:
+//
+//	genet-bench -list
+//	genet-bench [-scale smoke|ci|full] [-seed N] [-out FILE] fig9 fig13 ...
+//	genet-bench [-scale ci] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/genet-go/genet/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "smoke", "experiment budget: smoke|ci|full")
+		seedFlag  = flag.Int64("seed", 42, "random seed")
+		outFlag   = flag.String("out", "", "write results to this file instead of stdout")
+		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		listFlag  = flag.Bool("list", false, "list available experiment ids and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", id, experiments.Describe(id))
+		}
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	for _, id := range ids {
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+		fmt.Fprintf(os.Stderr, "running %s at scale %s...\n", id, scale)
+		start := time.Now()
+		res, err := runner(scale, *seedFlag)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if *csvFlag {
+			if err := res.WriteCSV(out); err != nil {
+				fatal(err)
+			}
+		} else if err := res.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genet-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+// Command genet-eval evaluates a trained model (from genet-train) against
+// the rule-based baselines, over synthetic environments or one of the
+// synthesized Table 2 trace sets.
+//
+// Usage:
+//
+//	genet-eval -usecase abr -model abr.model -n 100
+//	genet-eval -usecase cc -model cc.model -traces cellular
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/cc"
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/lb"
+	"github.com/genet-go/genet/internal/rl"
+	"github.com/genet-go/genet/internal/stats"
+	"github.com/genet-go/genet/internal/trace"
+)
+
+func main() {
+	var (
+		useCase   = flag.String("usecase", "abr", "use case: abr|cc|lb")
+		modelPath = flag.String("model", "", "model file from genet-train (required)")
+		n         = flag.Int("n", 50, "number of test environments")
+		level     = flag.String("level", "rl3", "synthetic test range: rl1|rl2|rl3")
+		traces    = flag.String("traces", "", "evaluate on a synthesized trace set instead: fcc|norway|cellular|ethernet")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "genet-eval: -model is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var lvl env.RangeLevel
+	switch strings.ToLower(*level) {
+	case "rl1":
+		lvl = env.RL1
+	case "rl2":
+		lvl = env.RL2
+	case "rl3":
+		lvl = env.RL3
+	default:
+		fatal(fmt.Errorf("unknown level %q", *level))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "policy\tmean_reward\tp10\tp90")
+
+	switch strings.ToLower(*useCase) {
+	case "abr":
+		agent, err := rl.LoadDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, len(abr.DefaultBitratesKbps)), f)
+		if err != nil {
+			fatal(err)
+		}
+		policies := map[string]abr.Policy{
+			"model":     &abr.AgentPolicy{Agent: agent, Label: "model"},
+			"RobustMPC": abr.NewRobustMPC(),
+			"BBA":       &abr.BBA{},
+			"RateBased": abr.RateBased{},
+		}
+		rewards := map[string][]float64{}
+		if *traces != "" {
+			set := makeSet(*traces, *seed)
+			cfg := env.ABRSpace(env.RL3).Default(env.ABRDefaults())
+			for i, tr := range set.Traces {
+				inst, err := abr.NewInstance(cfg, tr, rand.New(rand.NewSource(*seed+int64(i))))
+				if err != nil {
+					continue
+				}
+				for name, p := range policies {
+					rewards[name] = append(rewards[name], inst.Evaluate(p).MeanReward)
+				}
+			}
+		} else {
+			space := env.ABRSpace(lvl)
+			rng := rand.New(rand.NewSource(*seed))
+			for i := 0; i < *n; i++ {
+				cfg := space.Sample(rng)
+				inst, err := abr.NewInstance(cfg, nil, rand.New(rand.NewSource(*seed+int64(i))))
+				if err != nil {
+					continue
+				}
+				for name, p := range policies {
+					rewards[name] = append(rewards[name], inst.Evaluate(p).MeanReward)
+				}
+			}
+		}
+		printRows(w, rewards)
+
+	case "cc":
+		agent, err := rl.LoadGaussianAgent(rl.DefaultGaussianConfig(cc.ObsSize, 1), f)
+		if err != nil {
+			fatal(err)
+		}
+		senders := map[string]func() cc.Sender{
+			"model":  func() cc.Sender { return &cc.AgentSender{Agent: agent} },
+			"BBR":    func() cc.Sender { return cc.NewBBR() },
+			"Cubic":  func() cc.Sender { return cc.NewCubic() },
+			"Vivace": func() cc.Sender { return cc.NewVivace() },
+		}
+		rewards := map[string][]float64{}
+		evalInst := func(inst *cc.Instance, noiseSeed int64) {
+			for name, mk := range senders {
+				m := inst.Evaluate(mk(), rand.New(rand.NewSource(noiseSeed)))
+				rewards[name] = append(rewards[name], m.MeanReward)
+			}
+		}
+		if *traces != "" {
+			set := makeSet(*traces, *seed)
+			cfg := env.CCSpace(env.RL3).Default(env.CCDefaults())
+			for i, tr := range set.Traces {
+				inst, err := cc.NewInstance(cfg, tr, rand.New(rand.NewSource(*seed+int64(i))))
+				if err != nil {
+					continue
+				}
+				evalInst(inst, *seed+int64(i))
+			}
+		} else {
+			space := env.CCSpace(lvl)
+			rng := rand.New(rand.NewSource(*seed))
+			for i := 0; i < *n; i++ {
+				inst, err := cc.NewInstance(space.Sample(rng), nil, rand.New(rand.NewSource(*seed+int64(i))))
+				if err != nil {
+					continue
+				}
+				evalInst(inst, *seed+int64(i))
+			}
+		}
+		printRows(w, rewards)
+
+	case "lb":
+		agent, err := rl.LoadDiscreteAgent(rl.DefaultDiscreteConfig(lb.ObsSize, lb.NumServers), f)
+		if err != nil {
+			fatal(err)
+		}
+		policies := map[string]func() lb.Policy{
+			"model":      func() lb.Policy { return &lb.AgentPolicy{Agent: agent, Label: "model"} },
+			"LLF":        func() lb.Policy { return lb.LLF{} },
+			"RoundRobin": func() lb.Policy { return &lb.RoundRobin{} },
+		}
+		rewards := map[string][]float64{}
+		space := env.LBSpace(lvl)
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *n; i++ {
+			e, err := lb.NewEnvFromConfig(space.Sample(rng), rng)
+			if err != nil {
+				continue
+			}
+			noiseSeed := rng.Int63()
+			for name, mk := range policies {
+				m, err := e.Run(mk(), rand.New(rand.NewSource(noiseSeed)))
+				if err != nil {
+					continue
+				}
+				rewards[name] = append(rewards[name], m.MeanReward)
+			}
+		}
+		printRows(w, rewards)
+
+	default:
+		fatal(fmt.Errorf("unknown use case %q", *useCase))
+	}
+}
+
+func makeSet(name string, seed int64) *trace.Set {
+	spec, ok := trace.Specs()[strings.ToLower(name)]
+	if !ok {
+		fatal(fmt.Errorf("unknown trace set %q", name))
+	}
+	_, test := trace.GenerateTrainTest(spec, 0.2, rand.New(rand.NewSource(seed)))
+	return test
+}
+
+func printRows(w *tabwriter.Writer, rewards map[string][]float64) {
+	names := make([]string, 0, len(rewards))
+	for name := range rewards {
+		names = append(names, name)
+	}
+	// Model first, then alphabetical.
+	for i, n := range names {
+		if n == "model" {
+			names[0], names[i] = names[i], names[0]
+		}
+	}
+	for _, name := range names {
+		xs := rewards[name]
+		if len(xs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", name,
+			stats.Mean(xs), stats.Percentile(xs, 10), stats.Percentile(xs, 90))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genet-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command genet-train trains an RL policy for one of the three use cases
+// (abr, cc, lb) with Genet's curriculum, traditional RL over a chosen range,
+// or one of the alternative curricula, and saves the resulting model.
+//
+// Usage:
+//
+//	genet-train -usecase abr -strategy genet -rounds 9 -iters 10 -o abr.model
+//	genet-train -usecase cc -strategy rl3 -iters 100 -o cc.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/cc"
+	"github.com/genet-go/genet/internal/core"
+	"github.com/genet-go/genet/internal/env"
+)
+
+func main() {
+	var (
+		useCase  = flag.String("usecase", "abr", "use case: abr|cc|lb")
+		strategy = flag.String("strategy", "genet", "training strategy: genet|rl1|rl2|rl3|cl2|cl3")
+		rounds   = flag.Int("rounds", 9, "curriculum rounds (genet/cl strategies)")
+		iters    = flag.Int("iters", 10, "training iterations per round (or total/round-equivalent for rl1-3)")
+		boSteps  = flag.Int("bo-steps", 15, "BO search budget per round")
+		envsEval = flag.Int("envs-per-eval", 10, "environments per gap estimate")
+		seed     = flag.Int64("seed", 42, "random seed")
+		outPath  = flag.String("o", "", "output model file (required)")
+		baseName = flag.String("baseline", "", "rule-based baseline override (abr: mpc|bba; cc: bbr|cubic; lb: llf)")
+	)
+	flag.Parse()
+	if *outPath == "" {
+		fmt.Fprintln(os.Stderr, "genet-train: -o is required")
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	level := env.RL3
+	switch strings.ToLower(*strategy) {
+	case "rl1":
+		level = env.RL1
+	case "rl2":
+		level = env.RL2
+	}
+
+	h, err := buildHarness(*useCase, level, *baseName, rng)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	switch strings.ToLower(*strategy) {
+	case "rl1", "rl2", "rl3":
+		total := *rounds * *iters
+		fmt.Fprintf(os.Stderr, "training traditional %s on %s for %d iterations...\n", *strategy, *useCase, total)
+		curve := core.TrainTraditional(h, total, rng)
+		fmt.Fprintf(os.Stderr, "final training reward: %.3f\n", curve[len(curve)-1])
+	case "genet", "cl2", "cl3":
+		opts := core.Options{
+			Rounds: *rounds, ItersPerRound: *iters,
+			BOSteps: *boSteps, EnvsPerEval: *envsEval,
+		}
+		if strings.EqualFold(*useCase, "cc") {
+			// CC rewards scale with link bandwidth; search normalized gaps.
+			opts.Objective = core.NormalizedGapObjective()
+		}
+		switch strings.ToLower(*strategy) {
+		case "cl2":
+			opts.Objective = core.BaselinePerfObjective()
+		case "cl3":
+			opts.Objective = core.GapToOptimumObjective()
+			if strings.EqualFold(*useCase, "cc") {
+				opts.Objective = core.NormalizedOptGapObjective()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "training %s on %s: %d rounds x %d iterations...\n", *strategy, *useCase, *rounds, *iters)
+		rep, err := core.NewTrainer(h, opts).Run(rng)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rep.Rounds {
+			fmt.Fprintf(os.Stderr, "round %d: promoted [%s] score=%.3f\n", r.Round, r.Promoted, r.Score)
+		}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := saveModel(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model written to %s\n", *outPath)
+}
+
+func buildHarness(useCase string, level env.RangeLevel, baseline string, rng *rand.Rand) (core.Harness, error) {
+	switch strings.ToLower(useCase) {
+	case "abr":
+		h, err := core.NewABRHarness(env.ABRSpace(level), rng)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(baseline) {
+		case "", "mpc":
+		case "bba":
+			h.NewBaseline = func() abr.Policy { return &abr.BBA{} }
+		default:
+			return nil, fmt.Errorf("unknown abr baseline %q", baseline)
+		}
+		return h, nil
+	case "cc":
+		h, err := core.NewCCHarness(env.CCSpace(level), rng)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(baseline) {
+		case "", "bbr":
+		case "cubic":
+			h.NewBaseline = func() cc.Sender { return cc.NewCubic() }
+		default:
+			return nil, fmt.Errorf("unknown cc baseline %q", baseline)
+		}
+		return h, nil
+	case "lb":
+		h, err := core.NewLBHarness(env.LBSpace(level), rng)
+		if err != nil {
+			return nil, err
+		}
+		if baseline != "" && !strings.EqualFold(baseline, "llf") {
+			return nil, fmt.Errorf("unknown lb baseline %q", baseline)
+		}
+		return h, nil
+	}
+	return nil, fmt.Errorf("unknown use case %q", useCase)
+}
+
+func saveModel(h core.Harness, f *os.File) error {
+	switch hh := h.(type) {
+	case *core.ABRHarness:
+		return hh.Agent.Save(f)
+	case *core.CCHarness:
+		return hh.Agent.Save(f)
+	case *core.LBHarness:
+		return hh.Agent.Save(f)
+	}
+	return fmt.Errorf("unknown harness type %T", h)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genet-train:", err)
+	os.Exit(1)
+}

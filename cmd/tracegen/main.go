@@ -1,0 +1,87 @@
+// Command tracegen synthesizes bandwidth trace sets: either the calibrated
+// Table 2 stand-ins (fcc, norway, cellular, ethernet) or a custom §A.2
+// synthetic trace.
+//
+// Usage:
+//
+//	tracegen -set cellular -scale 1.0 -o cellular.json
+//	tracegen -abr -min-bw 1 -max-bw 5 -interval 10 -duration 300 -o trace.csv
+//	tracegen -cc -max-bw 10 -interval 5 -duration 30 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/genet-go/genet/internal/trace"
+)
+
+func main() {
+	var (
+		setName  = flag.String("set", "", "Table 2 stand-in set: fcc|norway|cellular|ethernet")
+		scale    = flag.Float64("scale", 1.0, "fraction of the Table 2 trace counts")
+		abrMode  = flag.Bool("abr", false, "generate one synthetic ABR trace (CSV)")
+		ccMode   = flag.Bool("cc", false, "generate one synthetic CC trace (CSV)")
+		minBW    = flag.Float64("min-bw", 1, "minimum bandwidth, Mbps (abr)")
+		maxBW    = flag.Float64("max-bw", 5, "maximum bandwidth, Mbps")
+		interval = flag.Float64("interval", 5, "bandwidth change interval, seconds")
+		duration = flag.Float64("duration", 300, "trace duration, seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outPath  = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *outPath == "" {
+		fatal(fmt.Errorf("-o is required"))
+	}
+	out, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch {
+	case *setName != "":
+		spec, ok := trace.Specs()[strings.ToLower(*setName)]
+		if !ok {
+			fatal(fmt.Errorf("unknown set %q", *setName))
+		}
+		train, test := trace.GenerateTrainTest(spec, *scale, rng)
+		combined := &trace.Set{Name: spec.Name, Traces: append(train.Traces, test.Traces...)}
+		if err := combined.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d traces (%.0fs total) to %s\n",
+			combined.Len(), combined.TotalDuration(), *outPath)
+	case *abrMode:
+		tr, err := trace.GenerateABR(trace.ABRGenConfig{
+			MinBW: *minBW, MaxBW: *maxBW, ChangeInterval: *interval, Duration: *duration,
+		}, rng)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteCSV(out); err != nil {
+			fatal(err)
+		}
+	case *ccMode:
+		tr, err := trace.GenerateCC(trace.CCGenConfig{
+			MaxBW: *maxBW, ChangeInterval: *interval, Duration: *duration,
+		}, rng)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteCSV(out); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -set, -abr, -cc is required"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

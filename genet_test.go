@@ -1,0 +1,91 @@
+package genet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The facade must expose a complete, working workflow without touching the
+// internal packages.
+
+func TestFacadeSpaces(t *testing.T) {
+	for _, s := range []*Space{ABRSpace(RL1), CCSpace(RL2), LBSpace(RL3)} {
+		if s.NumDims() < 5 {
+			t.Fatalf("space has %d dims", s.NumDims())
+		}
+	}
+	if len(ABRDefaults()) == 0 || len(CCDefaults()) == 0 || len(LBDefaults()) == 0 {
+		t.Fatal("defaults missing")
+	}
+}
+
+func TestFacadeHarnessConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewABRHarness(ABRSpace(RL1), rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCCHarness(CCSpace(RL1), rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLBHarness(LBSpace(RL1), rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h, err := NewABRHarness(ABRSpace(RL2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnvsPerIter, h.StepsPerIter = 2, 60
+	rep, err := NewTrainer(h, Options{
+		Rounds: 1, ItersPerRound: 1, BOSteps: 2, EnvsPerEval: 1, WarmupIters: 1,
+	}).Run(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 1 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+	curve := TrainTraditional(h, 2, rng)
+	if len(curve) != 2 {
+		t.Fatalf("traditional curve = %d", len(curve))
+	}
+}
+
+func TestFacadeObjectives(t *testing.T) {
+	for _, obj := range []Objective{
+		GapToBaselineObjective(), GapToOptimumObjective(), BaselinePerfObjective(),
+	} {
+		if obj.Name == "" || obj.Score == nil {
+			t.Fatalf("objective incomplete: %+v", obj)
+		}
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	set := GenerateTraceSet(SpecCellular, 3, rng)
+	if set.Len() != 3 {
+		t.Fatalf("set len = %d", set.Len())
+	}
+	for _, tr := range set.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeDistribution(t *testing.T) {
+	space := ABRSpace(RL3)
+	d := NewDistribution(space)
+	rng := rand.New(rand.NewSource(4))
+	cfg := space.Sample(rng)
+	if err := d.Promote(cfg, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPromoted() != 1 {
+		t.Fatal("promotion lost")
+	}
+}

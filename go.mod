@@ -1,0 +1,3 @@
+module github.com/genet-go/genet
+
+go 1.22

@@ -1,0 +1,87 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/env"
+)
+
+func TestOboeName(t *testing.T) {
+	if NewOboe().Name() != "Oboe" {
+		t.Fatal("name")
+	}
+}
+
+func TestOboeAggressiveOnStableLink(t *testing.T) {
+	o := NewOboe()
+	o.Reset()
+	obs := obsWith(t, 30)
+	for i := range obs.ThroughputHist {
+		obs.ThroughputHist[i] = 5.0 // stable, fast
+	}
+	if l := o.Select(obs); l != 5 {
+		t.Fatalf("stable fast link level = %d, want top", l)
+	}
+}
+
+func TestOboeConservativeOnVolatileLink(t *testing.T) {
+	o := NewOboe()
+	stable := obsWith(t, 20)
+	volatile := obsWith(t, 20)
+	for i := range stable.ThroughputHist {
+		stable.ThroughputHist[i] = 2.5
+	}
+	copy(volatile.ThroughputHist, []float64{0.5, 4.5, 0.5, 4.5, 0.5, 4.5, 0.5, 4.5})
+	o.Reset()
+	ls := o.Select(stable)
+	o.Reset()
+	lv := o.Select(volatile)
+	// Same mean (2.5 Mbps) but high variance must pick a lower rung.
+	if lv >= ls {
+		t.Fatalf("volatile link level %d not below stable %d", lv, ls)
+	}
+}
+
+func TestOboeColdStartSafe(t *testing.T) {
+	o := NewOboe()
+	o.Reset()
+	obs := obsWith(t, 5) // empty history
+	l := o.Select(obs)
+	if l < 0 || l >= obs.Video.NumLevels() {
+		t.Fatalf("cold start level = %d", l)
+	}
+}
+
+func TestOboeCompetitiveWithMPC(t *testing.T) {
+	// Across fluctuating environments, Oboe should be within a small
+	// margin of RobustMPC (footnote 3 calls it very competitive).
+	cfg := env.ABRSpace(env.RL3).Default(env.ABRDefaults()).
+		With(env.ABRBWChangeInterval, 3).
+		With(env.ABRBWMinRatio, 0.2)
+	var oboeSum, mpcSum float64
+	const n = 6
+	for i := 0; i < n; i++ {
+		inst, err := NewInstance(cfg, nil, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oboeSum += inst.Evaluate(NewOboe()).MeanReward
+		mpcSum += inst.Evaluate(NewRobustMPC()).MeanReward
+	}
+	if oboeSum < 0.8*mpcSum-1 {
+		t.Fatalf("oboe mean %.3f far below MPC %.3f", oboeSum/n, mpcSum/n)
+	}
+}
+
+func TestOboeEndsEpisode(t *testing.T) {
+	cfg := env.ABRSpace(env.RL3).Default(env.ABRDefaults())
+	inst, err := NewInstance(cfg, nil, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := inst.Evaluate(NewOboe())
+	if m.NumChunks != inst.Video.NumChunks() {
+		t.Fatalf("chunks = %d", m.NumChunks)
+	}
+}

@@ -1,0 +1,206 @@
+// Package bo implements the Bayesian-optimization machinery Genet's
+// sequencing module uses to search the environment-configuration space for
+// large gap-to-baseline points (§4.2): Gaussian-process regression with an
+// RBF kernel, the expected-improvement acquisition function, and the random
+// and coordinate ("grid") searchers the paper compares against in Fig 20.
+//
+// All searchers operate on the unit hypercube [0,1]^d; callers map points
+// into their environment spaces with env.Space.FromUnit.
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// GP is a Gaussian-process regressor with an isotropic RBF kernel:
+// k(x,x') = signal² · exp(−‖x−x'‖² / (2ℓ²)) plus observation noise.
+type GP struct {
+	LengthScale float64
+	SignalVar   float64
+	NoiseVar    float64
+
+	x     [][]float64
+	y     []float64
+	yMean float64
+	chol  [][]float64 // lower Cholesky factor of K
+	alpha []float64   // K^{-1} (y - mean)
+}
+
+// NewGP returns a GP with reasonable defaults for unit-cube inputs and
+// standardized outputs (length scale 0.3, unit signal, 1e-2 noise).
+func NewGP() *GP {
+	return &GP{LengthScale: 0.3, SignalVar: 1.0, NoiseVar: 1e-2}
+}
+
+func (g *GP) kernel(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.SignalVar * math.Exp(-d2/(2*g.LengthScale*g.LengthScale))
+}
+
+// Fit conditions the GP on observations (xs in [0,1]^d, ys arbitrary scale;
+// ys are internally centered). It returns an error when the kernel matrix
+// is not positive definite even after jitter.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("bo: %d inputs vs %d outputs", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return errors.New("bo: Fit with no observations")
+	}
+	n := len(xs)
+	g.x = xs
+	g.yMean = 0
+	for _, v := range ys {
+		g.yMean += v
+	}
+	g.yMean /= float64(n)
+	g.y = make([]float64, n)
+	for i, v := range ys {
+		g.y[i] = v - g.yMean
+	}
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(xs[i], xs[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.NoiseVar
+	}
+
+	chol, err := cholesky(k)
+	if err != nil {
+		// Retry with growing jitter before giving up.
+		for jitter := 1e-8; jitter <= 1e-2; jitter *= 10 {
+			for i := range k {
+				k[i][i] += jitter
+			}
+			if chol, err = cholesky(k); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("bo: kernel matrix not PD: %w", err)
+		}
+	}
+	g.chol = chol
+	g.alpha = cholSolve(chol, g.y)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if len(g.x) == 0 {
+		return g.yMean, g.SignalVar + g.NoiseVar
+	}
+	ks := make([]float64, len(g.x))
+	for i, xi := range g.x {
+		ks[i] = g.kernel(x, xi)
+	}
+	mean = g.yMean
+	for i, a := range g.alpha {
+		mean += ks[i] * a
+	}
+	// v = L^{-1} k*; var = k(x,x) - vᵀv.
+	v := forwardSolve(g.chol, ks)
+	variance = g.kernel(x, x)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mean, variance
+}
+
+// cholesky returns the lower-triangular factor L with A = L·Lᵀ.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("bo: non-positive pivot %g at %d", sum, i)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L·x = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// backSolve solves Lᵀ·x = b for lower-triangular L.
+func backSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// cholSolve solves (L·Lᵀ)·x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	return backSolve(l, forwardSolve(l, b))
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ExpectedImprovement returns EI(x) for maximization given the posterior
+// (mean, variance) and the incumbent best observed value.
+func ExpectedImprovement(mean, variance, best float64) float64 {
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		if mean > best {
+			return mean - best
+		}
+		return 0
+	}
+	const xi = 0.01 // exploration margin
+	z := (mean - best - xi) / sd
+	return (mean-best-xi)*normCDF(z) + sd*normPDF(z)
+}

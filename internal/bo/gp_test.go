@@ -1,0 +1,174 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnownMatrix(t *testing.T) {
+	// A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+	a := [][]float64{{4, 2}, {2, 3}}
+	l, err := cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l[0][0]-2) > 1e-12 || math.Abs(l[1][0]-1) > 1e-12 ||
+		math.Abs(l[1][1]-math.Sqrt2) > 1e-12 {
+		t.Fatalf("L = %v", l)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 1}} // eigenvalues 3, -1
+	if _, err := cholesky(a); err == nil {
+		t.Fatal("indefinite matrix factored")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Build SPD A = B·Bᵀ + I.
+		b := make([][]float64, n)
+		for i := range b {
+			b[i] = make([]float64, n)
+			for j := range b[i] {
+				b[i][j] = rng.NormFloat64()
+			}
+		}
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				for k := 0; k < n; k++ {
+					a[i][j] += b[i][k] * b[j][k]
+				}
+			}
+			a[i][i] += 1
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// rhs = A·x
+		rhs := make([]float64, n)
+		for i := range rhs {
+			for j := range x {
+				rhs[i] += a[i][j] * x[j]
+			}
+		}
+		l, err := cholesky(a)
+		if err != nil {
+			return false
+		}
+		got := cholSolve(l, rhs)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	gp := NewGP()
+	gp.NoiseVar = 1e-6
+	xs := [][]float64{{0.1}, {0.5}, {0.9}}
+	ys := []float64{1, -1, 2}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, va := gp.Predict(x)
+		if math.Abs(mu-ys[i]) > 0.05 {
+			t.Fatalf("Predict(train %d) = %v, want %v", i, mu, ys[i])
+		}
+		if va > 0.05 {
+			t.Fatalf("train-point variance = %v, want small", va)
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	gp := NewGP()
+	if err := gp.Fit([][]float64{{0.5}}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	_, nearVar := gp.Predict([]float64{0.52})
+	_, farVar := gp.Predict([]float64{3})
+	if farVar <= nearVar {
+		t.Fatalf("variance near %v !< far %v", nearVar, farVar)
+	}
+}
+
+func TestGPPredictWithoutFit(t *testing.T) {
+	gp := NewGP()
+	mu, va := gp.Predict([]float64{0.5})
+	if mu != 0 || va <= 0 {
+		t.Fatalf("prior = (%v, %v)", mu, va)
+	}
+}
+
+func TestGPFitValidation(t *testing.T) {
+	gp := NewGP()
+	if err := gp.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := gp.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched fit accepted")
+	}
+}
+
+func TestGPDuplicatePointsJitter(t *testing.T) {
+	gp := NewGP()
+	gp.NoiseVar = 0 // forces the jitter path
+	xs := [][]float64{{0.5}, {0.5}, {0.5}}
+	ys := []float64{1, 1, 1}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatalf("duplicate points should fit via jitter: %v", err)
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// EI is non-negative and increases with mean.
+	lo := ExpectedImprovement(0.0, 0.1, 1.0)
+	hi := ExpectedImprovement(2.0, 0.1, 1.0)
+	if lo < 0 || hi < 0 {
+		t.Fatal("negative EI")
+	}
+	if hi <= lo {
+		t.Fatalf("EI not increasing in mean: %v vs %v", lo, hi)
+	}
+	// Zero variance: EI = max(0, mean-best).
+	if got := ExpectedImprovement(2, 0, 1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("deterministic EI = %v, want 1", got)
+	}
+	if got := ExpectedImprovement(0, 0, 1); got != 0 {
+		t.Fatalf("deterministic below-best EI = %v, want 0", got)
+	}
+	// Higher variance helps when the mean is below the incumbent.
+	small := ExpectedImprovement(0, 0.01, 1)
+	big := ExpectedImprovement(0, 1, 1)
+	if big <= small {
+		t.Fatalf("exploration not rewarded: %v vs %v", big, small)
+	}
+}
+
+func TestNormFunctions(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Fatalf("Phi(0) = %v", normCDF(0))
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatalf("phi(0) = %v", normPDF(0))
+	}
+	if normCDF(5) < 0.999 || normCDF(-5) > 0.001 {
+		t.Fatal("Phi tails wrong")
+	}
+}

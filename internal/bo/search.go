@@ -1,0 +1,231 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Objective is a blackbox function over the unit hypercube to maximize. In
+// Genet it is the (expensive, noisy) gap-to-baseline of a configuration.
+type Objective func(x []float64) float64
+
+// Result is one evaluated point.
+type Result struct {
+	X     []float64
+	Value float64
+}
+
+// Trace records a search's evaluations in order; BestAfter answers "how good
+// was the best point after n evaluations" for Fig 20-style plots.
+type Trace struct {
+	Evals []Result
+}
+
+// Best returns the best point found, or false when no evaluations ran.
+func (t *Trace) Best() (Result, bool) {
+	return t.BestAfter(len(t.Evals))
+}
+
+// BestAfter returns the best among the first n evaluations.
+func (t *Trace) BestAfter(n int) (Result, bool) {
+	if n > len(t.Evals) {
+		n = len(t.Evals)
+	}
+	if n == 0 {
+		return Result{}, false
+	}
+	best := t.Evals[0]
+	for _, r := range t.Evals[1:n] {
+		if r.Value > best.Value {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// BestSeries returns, for each evaluation count 1..len, the best value found
+// so far (the running maximum).
+func (t *Trace) BestSeries() []float64 {
+	out := make([]float64, len(t.Evals))
+	for i, r := range t.Evals {
+		if i == 0 || r.Value > out[i-1] {
+			out[i] = r.Value
+		} else {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// Options configure a BO run.
+type Options struct {
+	// Dims is the search dimensionality (required).
+	Dims int
+	// Steps is the total evaluation budget (Genet default: 15).
+	Steps int
+	// InitRandom is how many uniformly random points seed the GP before
+	// acquisition starts (default: min(5, Steps/3+1)).
+	InitRandom int
+	// Candidates is how many random candidates the acquisition maximizer
+	// scores per step (default 512).
+	Candidates int
+}
+
+func (o *Options) defaults() error {
+	if o.Dims <= 0 {
+		return fmt.Errorf("bo: non-positive dims %d", o.Dims)
+	}
+	if o.Steps <= 0 {
+		o.Steps = 15
+	}
+	if o.InitRandom <= 0 {
+		o.InitRandom = min(5, o.Steps/3+1)
+	}
+	if o.InitRandom > o.Steps {
+		o.InitRandom = o.Steps
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 512
+	}
+	return nil
+}
+
+// Maximize runs Bayesian optimization of f over [0,1]^Dims and returns the
+// evaluation trace. Genet restarts this search from scratch for every new
+// RL model snapshot (§4.2: the rewarding environments change once the model
+// changes), which is why the searcher carries no cross-call state.
+func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{}
+	eval := func(x []float64) {
+		tr.Evals = append(tr.Evals, Result{X: x, Value: f(x)})
+	}
+	for i := 0; i < opts.InitRandom; i++ {
+		eval(randPoint(opts.Dims, rng))
+	}
+	gp := NewGP()
+	for len(tr.Evals) < opts.Steps {
+		xs := make([][]float64, len(tr.Evals))
+		ys := make([]float64, len(tr.Evals))
+		for i, r := range tr.Evals {
+			xs[i] = r.X
+			ys[i] = r.Value
+		}
+		ys = standardize(ys)
+		if err := gp.Fit(xs, ys); err != nil {
+			// Degenerate geometry (e.g. duplicate points): fall back to a
+			// random probe rather than aborting the whole search.
+			eval(randPoint(opts.Dims, rng))
+			continue
+		}
+		incumbent, _ := bestOf(ys)
+		var bestX []float64
+		bestEI := -1.0
+		for c := 0; c < opts.Candidates; c++ {
+			x := randPoint(opts.Dims, rng)
+			mu, va := gp.Predict(x)
+			ei := ExpectedImprovement(mu, va, incumbent)
+			if ei > bestEI {
+				bestEI = ei
+				bestX = x
+			}
+		}
+		eval(bestX)
+	}
+	return tr, nil
+}
+
+// RandomSearch evaluates steps uniformly random points: the expensive
+// brute-force comparator in Fig 20.
+func RandomSearch(f Objective, dims, steps int, rng *rand.Rand) *Trace {
+	tr := &Trace{}
+	for i := 0; i < steps; i++ {
+		x := randPoint(dims, rng)
+		tr.Evals = append(tr.Evals, Result{X: x, Value: f(x)})
+	}
+	return tr
+}
+
+// CoordinateSearch is the paper's "grid search" reference (Fig 20): start
+// with every coordinate at its midpoint, then sweep one coordinate at a
+// time over a uniform grid, committing the best value found before moving
+// to the next coordinate. It stops after the evaluation budget.
+func CoordinateSearch(f Objective, dims, gridPoints, budget int, rng *rand.Rand) *Trace {
+	if gridPoints < 2 {
+		gridPoints = 5
+	}
+	tr := &Trace{}
+	cur := make([]float64, dims)
+	for i := range cur {
+		cur[i] = 0.5
+	}
+	evalAt := func(x []float64) float64 {
+		cp := append([]float64(nil), x...)
+		v := f(cp)
+		tr.Evals = append(tr.Evals, Result{X: cp, Value: v})
+		return v
+	}
+	bestVal := evalAt(cur)
+	for d := 0; d < dims && len(tr.Evals) < budget; d++ {
+		bestCoord := cur[d]
+		for gi := 0; gi < gridPoints && len(tr.Evals) < budget; gi++ {
+			cur[d] = float64(gi) / float64(gridPoints-1)
+			if v := evalAt(cur); v > bestVal {
+				bestVal = v
+				bestCoord = cur[d]
+			}
+		}
+		cur[d] = bestCoord
+	}
+	return tr
+}
+
+func randPoint(dims int, rng *rand.Rand) []float64 {
+	x := make([]float64, dims)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func bestOf(ys []float64) (best float64, idx int) {
+	best, idx = ys[0], 0
+	for i, v := range ys[1:] {
+		if v > best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// standardize returns ys scaled to zero mean, unit variance (constant
+// series are centered only). The GP assumes roughly unit-scale outputs.
+func standardize(ys []float64) []float64 {
+	n := float64(len(ys))
+	mean := 0.0
+	for _, v := range ys {
+		mean += v
+	}
+	mean /= n
+	va := 0.0
+	for _, v := range ys {
+		d := v - mean
+		va += d * d
+	}
+	va /= n
+	out := make([]float64, len(ys))
+	if va < 1e-12 {
+		for i, v := range ys {
+			out[i] = v - mean
+		}
+		return out
+	}
+	sd := 1 / math.Sqrt(va)
+	for i, v := range ys {
+		out[i] = (v - mean) * sd
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/genet-go/genet/internal/trace"
+)
+
+func constCCTrace(bw, dur float64) *trace.Trace {
+	tr := &trace.Trace{}
+	for ts := 0.0; ts < dur; ts += 0.1 {
+		tr.Timestamps = append(tr.Timestamps, ts)
+		tr.Bandwidth = append(tr.Bandwidth, bw)
+	}
+	return tr
+}
+
+func mkSim(t *testing.T, bw float64, link LinkParams, seed int64) *Sim {
+	t.Helper()
+	s, err := NewSim(constCCTrace(bw, 120), link, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func defLink() LinkParams {
+	return LinkParams{OneWayDelayMs: 50, QueuePackets: 50}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSim(constCCTrace(5, 10), LinkParams{QueuePackets: 0}, rng); err == nil {
+		t.Fatal("zero queue accepted")
+	}
+	if _, err := NewSim(constCCTrace(5, 10), LinkParams{QueuePackets: 10, RandomLoss: 1.5}, rng); err == nil {
+		t.Fatal("loss > 1 accepted")
+	}
+	if _, err := NewSim(&trace.Trace{}, defLink(), rng); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestBaseRTT(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 1)
+	if s.BaseRTT() != 0.1 {
+		t.Fatalf("base RTT = %v, want 0.1", s.BaseRTT())
+	}
+}
+
+func TestThroughputBoundedByLink(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 2)
+	for i := 0; i < 20; i++ {
+		mi := s.RunMI(20) // send 4x the link rate
+		if mi.Throughput > 5+1e-6 {
+			t.Fatalf("throughput %v exceeds 5 Mbps link", mi.Throughput)
+		}
+	}
+}
+
+func TestUndersendDeliversSendRate(t *testing.T) {
+	s := mkSim(t, 10, defLink(), 3)
+	var tput, sent float64
+	for i := 0; i < 20; i++ {
+		mi := s.RunMI(2)
+		tput += mi.Throughput
+		sent += mi.SendRate
+	}
+	if tput < 0.9*sent {
+		t.Fatalf("undersending delivered %v of %v", tput, sent)
+	}
+}
+
+func TestOversendingBuildsQueueAndLatency(t *testing.T) {
+	s := mkSim(t, 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 500}, 4)
+	first := s.RunMI(10)
+	var last MIStats
+	for i := 0; i < 10; i++ {
+		last = s.RunMI(10)
+	}
+	if last.AvgLatency <= first.AvgLatency {
+		t.Fatalf("persistent oversending did not raise latency: %v vs %v", last.AvgLatency, first.AvgLatency)
+	}
+	if last.LatencyInflation() <= 0 {
+		t.Fatalf("latency inflation = %v, want > 0", last.LatencyInflation())
+	}
+}
+
+func TestQueueOverflowLoss(t *testing.T) {
+	s := mkSim(t, 2, LinkParams{OneWayDelayMs: 20, QueuePackets: 5}, 5)
+	var loss float64
+	for i := 0; i < 20; i++ {
+		loss = s.RunMI(20).LossRate // 10x overload, tiny queue
+	}
+	if loss < 0.5 {
+		t.Fatalf("overflow loss = %v, want heavy", loss)
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	s := mkSim(t, 100, LinkParams{OneWayDelayMs: 20, QueuePackets: 1000, RandomLoss: 0.05}, 6)
+	var total, n float64
+	for i := 0; i < 30; i++ {
+		mi := s.RunMI(5) // far below capacity: only random loss
+		total += mi.LossRate
+		n++
+	}
+	avg := total / n
+	if avg < 0.03 || avg > 0.07 {
+		t.Fatalf("random loss = %v, want ~0.05", avg)
+	}
+}
+
+func TestDelayNoiseRaisesLatency(t *testing.T) {
+	quiet := mkSim(t, 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 50}, 7)
+	noisy := mkSim(t, 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 50, DelayNoiseMs: 30}, 7)
+	var q, nz float64
+	for i := 0; i < 10; i++ {
+		q += quiet.RunMI(2).AvgLatency
+		nz += noisy.RunMI(2).AvgLatency
+	}
+	if nz <= q {
+		t.Fatalf("delay noise did not raise latency: %v vs %v", nz, q)
+	}
+}
+
+func TestMIDurationFollowsRTT(t *testing.T) {
+	short := mkSim(t, 5, LinkParams{OneWayDelayMs: 10, QueuePackets: 50}, 8)
+	long := mkSim(t, 5, LinkParams{OneWayDelayMs: 150, QueuePackets: 50}, 8)
+	if d := short.RunMI(1).Duration; d != 0.05 { // floor
+		t.Fatalf("short-path MI = %v, want floor 0.05", d)
+	}
+	if d := long.RunMI(1).Duration; d != 0.3 {
+		t.Fatalf("long-path MI = %v, want RTT 0.3", d)
+	}
+}
+
+func TestRewardFormulaTable1(t *testing.T) {
+	mi := MIStats{Throughput: 3, AvgLatency: 0.2, LossRate: 0.01}
+	want := 120*3 - 1000*0.2 - 2000*0.01
+	if got := mi.Reward(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("reward = %v, want %v", got, want)
+	}
+}
+
+func TestRunEpisodeMetrics(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 9)
+	m := RunEpisode(s, NewBBR(), 10, 0.5)
+	if m.NumMIs < 50 {
+		t.Fatalf("MIs = %d over 10s at 100ms", m.NumMIs)
+	}
+	if m.MeanThroughput <= 0 || m.MeanThroughput > 5 {
+		t.Fatalf("mean throughput = %v", m.MeanThroughput)
+	}
+	if m.P90Latency < m.MeanLatency*0.5 {
+		t.Fatalf("p90 %v below half the mean %v", m.P90Latency, m.MeanLatency)
+	}
+}
+
+func TestRunEpisodeDefaultsInitRate(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 10)
+	m := RunEpisode(s, &FixedRate{Rate: 1}, 5, 0)
+	if m.NumMIs == 0 {
+		t.Fatal("no MIs with defaulted init rate")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Property: delivered <= sent, loss in [0, 1].
+	f := func(seed int64, rateRaw, bwRaw uint8) bool {
+		rate := 0.1 + float64(rateRaw)/255*20
+		bw := 1 + float64(bwRaw)/255*20
+		s, err := NewSim(constCCTrace(bw, 60), defLink(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			mi := s.RunMI(rate)
+			if mi.LossRate < 0 || mi.LossRate > 1 {
+				return false
+			}
+			if mi.Throughput < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyNeverBelowPropagation(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 11)
+	for i := 0; i < 20; i++ {
+		mi := s.RunMI(float64(1 + i))
+		if mi.AvgLatency < s.BaseRTT()-1e-9 {
+			t.Fatalf("latency %v below propagation %v", mi.AvgLatency, s.BaseRTT())
+		}
+	}
+}
+
+func TestRunMIAdvancesClock(t *testing.T) {
+	s := mkSim(t, 5, defLink(), 20)
+	before := s.Clock()
+	mi := s.RunMI(1)
+	if got := s.Clock() - before; math.Abs(got-mi.Duration) > 1e-9 {
+		t.Fatalf("clock advanced %v, MI duration %v", got, mi.Duration)
+	}
+}
+
+func TestTraceWrapsForLongConnections(t *testing.T) {
+	// 10-second trace, 30-second episode: must keep running via replay.
+	tr := constCCTrace(5, 10)
+	s, err := NewSim(tr, defLink(), rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RunEpisode(s, &FixedRate{Rate: 2}, 30, 0.5)
+	if s.Clock() < 30 {
+		t.Fatalf("clock = %v, want >= 30", s.Clock())
+	}
+	if m.MeanThroughput < 1.8 {
+		t.Fatalf("throughput %v on replayed trace", m.MeanThroughput)
+	}
+}
+
+func TestLinkRateOracleAccess(t *testing.T) {
+	s := mkSim(t, 7, defLink(), 22)
+	if got := s.LinkRate(); got != 7 {
+		t.Fatalf("LinkRate = %v", got)
+	}
+}

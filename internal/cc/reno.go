@@ -1,0 +1,51 @@
+package cc
+
+import (
+	"math"
+)
+
+// Reno approximates TCP NewReno at monitor-interval granularity: additive
+// increase of one segment per RTT, multiplicative decrease by half on loss.
+// It is the most conservative loss-based baseline in the suite; like Cubic
+// it cannot tell random loss from congestion (§4.2).
+type Reno struct {
+	cwndMbit float64
+	ssthresh float64
+	baseRTT  float64
+	slowStrt bool
+}
+
+// NewReno returns a Reno sender.
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements Sender.
+func (*Reno) Name() string { return "Reno" }
+
+// Reset implements Sender.
+func (r *Reno) Reset(initRate, baseRTT float64) {
+	r.baseRTT = baseRTT
+	r.cwndMbit = initRate * baseRTT
+	r.ssthresh = math.Inf(1)
+	r.slowStrt = true
+}
+
+// OnMI implements Sender.
+func (r *Reno) OnMI(s MIStats) float64 {
+	segMbit := float64(PacketBytes*8) / 1e6
+	if s.LossRate > 0.001 {
+		// Loss event: halve, leave slow start.
+		r.ssthresh = math.Max(r.cwndMbit/2, 2*segMbit)
+		r.cwndMbit = r.ssthresh
+		r.slowStrt = false
+	} else if r.slowStrt && r.cwndMbit < r.ssthresh {
+		// Slow start: double per RTT; one MI ~ one RTT here.
+		r.cwndMbit *= 2
+	} else {
+		// Congestion avoidance: one segment per RTT.
+		r.slowStrt = false
+		r.cwndMbit += segMbit
+	}
+	r.cwndMbit = math.Max(r.cwndMbit, segMbit)
+	rtt := math.Max(s.AvgLatency, r.baseRTT)
+	return r.cwndMbit / rtt
+}

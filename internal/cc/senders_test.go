@@ -1,0 +1,180 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/env"
+)
+
+func evalSender(t *testing.T, s Sender, bw float64, link LinkParams, seed int64) Metrics {
+	t.Helper()
+	sim, err := NewSim(constCCTrace(bw, 60), link, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunEpisode(sim, s, 30, 0.5)
+}
+
+func TestSenderNames(t *testing.T) {
+	cases := map[string]Sender{
+		"Cubic": NewCubic(), "BBR": NewBBR(), "Vivace": NewVivace(),
+		"Copa": NewCopa(), "FixedRate": &FixedRate{Rate: 1},
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name = %q, want %q", s.Name(), want)
+		}
+	}
+	if (&FixedRate{Rate: 1, Label: "x"}).Name() != "x" {
+		t.Error("FixedRate label ignored")
+	}
+}
+
+func TestCubicUtilizesCleanLink(t *testing.T) {
+	m := evalSender(t, NewCubic(), 5, LinkParams{OneWayDelayMs: 30, QueuePackets: 100}, 1)
+	if m.MeanThroughput < 2.5 {
+		t.Fatalf("cubic used %v of a 5 Mbps clean link", m.MeanThroughput)
+	}
+}
+
+func TestCubicCollapsesUnderRandomLoss(t *testing.T) {
+	clean := evalSender(t, NewCubic(), 8, LinkParams{OneWayDelayMs: 30, QueuePackets: 100}, 2)
+	lossy := evalSender(t, NewCubic(), 8, LinkParams{OneWayDelayMs: 30, QueuePackets: 100, RandomLoss: 0.02}, 2)
+	if lossy.MeanThroughput > clean.MeanThroughput*0.5 {
+		t.Fatalf("cubic under 2%% random loss kept %v vs clean %v — should collapse (§4.2)",
+			lossy.MeanThroughput, clean.MeanThroughput)
+	}
+}
+
+func TestBBRToleratesRandomLoss(t *testing.T) {
+	lossy := evalSender(t, NewBBR(), 8, LinkParams{OneWayDelayMs: 30, QueuePackets: 100, RandomLoss: 0.02}, 3)
+	if lossy.MeanThroughput < 4 {
+		t.Fatalf("BBR under 2%% random loss only reached %v Mbps of 8", lossy.MeanThroughput)
+	}
+}
+
+func TestBBRRampsUp(t *testing.T) {
+	// From 0.5 Mbps initial on a 50 Mbps link, BBR must find most of the
+	// bandwidth within an episode.
+	m := evalSender(t, NewBBR(), 50, LinkParams{OneWayDelayMs: 30, QueuePackets: 200}, 4)
+	if m.MeanThroughput < 20 {
+		t.Fatalf("BBR reached only %v of 50 Mbps", m.MeanThroughput)
+	}
+}
+
+func TestBBRKeepsQueuesShallow(t *testing.T) {
+	bbr := evalSender(t, NewBBR(), 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 500}, 5)
+	cubic := evalSender(t, NewCubic(), 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 500}, 5)
+	// Cubic fills the deep queue; BBR should hold latency lower.
+	if bbr.MeanLatency >= cubic.MeanLatency {
+		t.Fatalf("BBR latency %v not below cubic %v on deep queue", bbr.MeanLatency, cubic.MeanLatency)
+	}
+}
+
+func TestVivaceUtilizesLink(t *testing.T) {
+	m := evalSender(t, NewVivace(), 5, LinkParams{OneWayDelayMs: 30, QueuePackets: 100}, 6)
+	if m.MeanThroughput < 2 {
+		t.Fatalf("vivace used %v of 5 Mbps", m.MeanThroughput)
+	}
+}
+
+func TestCopaControlsLatency(t *testing.T) {
+	m := evalSender(t, NewCopa(), 5, LinkParams{OneWayDelayMs: 50, QueuePackets: 1000}, 7)
+	// Copa targets low queueing delay even with a huge queue available.
+	if m.MeanLatency > 0.3 {
+		t.Fatalf("copa mean latency %v with deep queue", m.MeanLatency)
+	}
+	if m.MeanThroughput < 2 {
+		t.Fatalf("copa throughput %v", m.MeanThroughput)
+	}
+}
+
+func TestOracleNearPerfect(t *testing.T) {
+	sim, err := NewSim(constCCTrace(5, 60), defLink(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RunEpisode(sim, NewOracle(sim), 30, 0.5)
+	if m.MeanThroughput < 4.5 {
+		t.Fatalf("oracle throughput %v of 5", m.MeanThroughput)
+	}
+	if m.MeanLatency > 1.2*sim.BaseRTT() {
+		t.Fatalf("oracle latency %v vs base %v", m.MeanLatency, sim.BaseRTT())
+	}
+	if m.LossRate > 0.01 {
+		t.Fatalf("oracle loss %v", m.LossRate)
+	}
+}
+
+func TestOracleBeatsEveryoneOnDefault(t *testing.T) {
+	cfg := env.CCSpace(env.RL3).Default(env.CCDefaults())
+	inst, err := NewInstance(cfg, nil, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := inst.EvaluateOracle(rand.New(rand.NewSource(1))).MeanReward
+	for _, s := range []Sender{NewCubic(), NewBBR(), NewVivace(), NewCopa()} {
+		got := inst.Evaluate(s, rand.New(rand.NewSource(1))).MeanReward
+		if got > oracle {
+			t.Fatalf("%s (%v) beat the oracle (%v)", s.Name(), got, oracle)
+		}
+	}
+}
+
+func TestFixedRateConstant(t *testing.T) {
+	f := &FixedRate{Rate: 2}
+	f.Reset(1, 0.1)
+	if f.OnMI(MIStats{}) != 2 {
+		t.Fatal("fixed rate not constant")
+	}
+}
+
+func TestSendersResetClearsState(t *testing.T) {
+	// Running an episode, resetting, and re-running on the same sim
+	// conditions must give the same first decision.
+	for _, mk := range []func() Sender{
+		func() Sender { return NewCubic() },
+		func() Sender { return NewBBR() },
+		func() Sender { return NewVivace() },
+		func() Sender { return NewCopa() },
+	} {
+		s := mk()
+		s.Reset(0.5, 0.1)
+		first := s.OnMI(MIStats{Duration: 0.1, SendRate: 0.5, Throughput: 0.5, AvgLatency: 0.1, MinLatency: 0.1, BaseRTT: 0.1})
+		// Drive it for a while.
+		for i := 0; i < 10; i++ {
+			s.OnMI(MIStats{Duration: 0.1, SendRate: 1, Throughput: 1, AvgLatency: 0.2, MinLatency: 0.1, BaseRTT: 0.1, LossRate: 0.1, Elapsed: float64(i)})
+		}
+		s.Reset(0.5, 0.1)
+		again := s.OnMI(MIStats{Duration: 0.1, SendRate: 0.5, Throughput: 0.5, AvgLatency: 0.1, MinLatency: 0.1, BaseRTT: 0.1})
+		if first != again {
+			t.Errorf("%s: Reset did not clear state (%v vs %v)", s.Name(), first, again)
+		}
+	}
+}
+
+func TestRenoUtilizesCleanLink(t *testing.T) {
+	m := evalSender(t, NewReno(), 5, LinkParams{OneWayDelayMs: 30, QueuePackets: 100}, 30)
+	if m.MeanThroughput < 2 {
+		t.Fatalf("reno used %v of a 5 Mbps clean link", m.MeanThroughput)
+	}
+}
+
+func TestRenoCollapsesUnderRandomLoss(t *testing.T) {
+	clean := evalSender(t, NewReno(), 8, LinkParams{OneWayDelayMs: 30, QueuePackets: 100}, 31)
+	lossy := evalSender(t, NewReno(), 8, LinkParams{OneWayDelayMs: 30, QueuePackets: 100, RandomLoss: 0.02}, 31)
+	if lossy.MeanThroughput > clean.MeanThroughput*0.5 {
+		t.Fatalf("reno under random loss kept %v vs clean %v", lossy.MeanThroughput, clean.MeanThroughput)
+	}
+}
+
+func TestRenoMoreConservativeThanCubic(t *testing.T) {
+	// On a long fat pipe, Cubic's growth should beat Reno's linear probe.
+	link := LinkParams{OneWayDelayMs: 80, QueuePackets: 300}
+	reno := evalSender(t, NewReno(), 40, link, 32)
+	cubic := evalSender(t, NewCubic(), 40, link, 32)
+	if reno.MeanThroughput > cubic.MeanThroughput*1.2 {
+		t.Fatalf("reno %v should not beat cubic %v decisively on an LFN", reno.MeanThroughput, cubic.MeanThroughput)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/cc"
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/lb"
+)
+
+// The §7 ensemble objective: the per-environment baseline reward is the max
+// over ensemble members, so the ensemble baseline is always at least every
+// single member.
+
+func TestABREnsembleDominatesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := NewABRHarness(env.ABRSpace(env.RL1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Space().Default(nil)
+
+	h.NewBaseline = func() abr.Policy { return &abr.BBA{} }
+	bba := h.Eval(cfg, 3, NeedBaseline, rand.New(rand.NewSource(2))).Baseline
+	h.NewBaseline = func() abr.Policy { return abr.NewRobustMPC() }
+	mpc := h.Eval(cfg, 3, NeedBaseline, rand.New(rand.NewSource(2))).Baseline
+
+	h.Ensemble = []func() abr.Policy{
+		func() abr.Policy { return &abr.BBA{} },
+		func() abr.Policy { return abr.NewRobustMPC() },
+	}
+	ens := h.Eval(cfg, 3, NeedBaseline, rand.New(rand.NewSource(2))).Baseline
+	if ens < math.Max(bba, mpc)-1e-9 {
+		t.Fatalf("ensemble %v below best member max(%v, %v)", ens, bba, mpc)
+	}
+}
+
+func TestCCEnsembleDominatesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := NewCCHarness(env.CCSpace(env.RL1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Space().Default(nil)
+
+	h.NewBaseline = func() cc.Sender { return cc.NewCubic() }
+	cubic := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(4))).Baseline
+	h.NewBaseline = func() cc.Sender { return cc.NewBBR() }
+	bbr := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(4))).Baseline
+
+	h.Ensemble = []func() cc.Sender{
+		func() cc.Sender { return cc.NewCubic() },
+		func() cc.Sender { return cc.NewBBR() },
+	}
+	ens := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(4))).Baseline
+	if ens < math.Max(cubic, bbr)-1e-9 {
+		t.Fatalf("ensemble %v below best member max(%v, %v)", ens, cubic, bbr)
+	}
+}
+
+func TestLBEnsembleDominatesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h, err := NewLBHarness(env.LBSpace(env.RL1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Space().Default(nil).With(env.LBNumJobs, 80)
+
+	h.NewBaseline = func() lb.Policy { return lb.LLF{} }
+	llf := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(6))).Baseline
+	h.NewBaseline = func() lb.Policy { return &lb.RoundRobin{} }
+	rr := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(6))).Baseline
+
+	h.Ensemble = []func() lb.Policy{
+		func() lb.Policy { return lb.LLF{} },
+		func() lb.Policy { return &lb.RoundRobin{} },
+	}
+	ens := h.Eval(cfg, 2, NeedBaseline, rand.New(rand.NewSource(6))).Baseline
+	if ens < math.Max(llf, rr)-1e-9 {
+		t.Fatalf("ensemble %v below best member max(%v, %v)", ens, llf, rr)
+	}
+}
+
+func TestTrainerExplorationFloorApplied(t *testing.T) {
+	h := newFakeHarness(t)
+	tr := NewTrainer(h, Options{
+		Rounds: 3, ItersPerRound: 1, BOSteps: 3, EnvsPerEval: 1, WarmupIters: 1,
+		ExplorationFloor: 0.5,
+	})
+	rep, err := tr.Run(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 0.5 floor, roughly half the samples must come from the base
+	// space even after 3 promotions.
+	promoted := map[string]bool{}
+	for _, r := range rep.Rounds {
+		promoted[r.Promoted.String()] = true
+	}
+	rng := rand.New(rand.NewSource(8))
+	base := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if !promoted[rep.Distribution.Sample(rng).String()] {
+			base++
+		}
+	}
+	frac := float64(base) / n
+	if frac < 0.45 {
+		t.Fatalf("base fraction = %.3f, want >= ~0.5 with floor", frac)
+	}
+}
+
+func TestParallelEvalMatchesSequentialSemantics(t *testing.T) {
+	// Two identical harnesses evaluated with identical seeds must agree,
+	// regardless of scheduling.
+	rng1 := rand.New(rand.NewSource(9))
+	h1, err := NewABRHarness(env.ABRSpace(env.RL1), rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(9))
+	h2, err := NewABRHarness(env.ABRSpace(env.RL1), rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h1.Space().Default(nil)
+	for trial := 0; trial < 3; trial++ {
+		e1 := h1.Eval(cfg, 6, NeedBaseline, rand.New(rand.NewSource(int64(trial))))
+		e2 := h2.Eval(cfg, 6, NeedBaseline, rand.New(rand.NewSource(int64(trial))))
+		if e1.RL != e2.RL || e1.Baseline != e2.Baseline {
+			t.Fatalf("trial %d: parallel eval nondeterministic: %+v vs %+v", trial, e1, e2)
+		}
+	}
+}

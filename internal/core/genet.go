@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/genet-go/genet/internal/bo"
+	"github.com/genet-go/genet/internal/env"
+)
+
+// Objective scores a candidate configuration for promotion given the
+// evaluation of the current model on it. Genet's objective is the
+// gap-to-baseline; §5.5's alternatives plug in here.
+type Objective struct {
+	// Name labels the curriculum strategy in experiment output.
+	Name string
+	// Need declares which reference evaluations the score requires.
+	Need EvalNeed
+	// Score maps an evaluation to the value BO maximizes.
+	Score func(cfg env.Config, ev EvalResult) float64
+}
+
+// GapToBaselineObjective is Genet's criterion (§4.1).
+func GapToBaselineObjective() Objective {
+	return Objective{
+		Name: "genet",
+		Need: NeedBaseline,
+		Score: func(_ env.Config, ev EvalResult) float64 {
+			return nanGuard(ev.GapToBaseline())
+		},
+	}
+}
+
+// GapToOptimumObjective is Strawman 3 / CL3: promote where the model is far
+// from the ground-truth optimal.
+func GapToOptimumObjective() Objective {
+	return Objective{
+		Name: "cl3-gap-to-optimum",
+		Need: NeedOptimal,
+		Score: func(_ env.Config, ev EvalResult) float64 {
+			return nanGuard(ev.GapToOptimal())
+		},
+	}
+}
+
+// NormalizedGapObjective is the gap-to-baseline criterion measured on
+// per-environment normalized rewards. Congestion-control rewards are
+// proportional to link bandwidth (Table 1), so across a [0.1, 100] Mbps
+// range raw rewards span three orders of magnitude and a raw gap search
+// degenerates to "always promote the fastest links"; the normalized gap
+// keeps every region of the space competitive. For harnesses that do not
+// compute normalized rewards it falls back to the raw gap.
+func NormalizedGapObjective() Objective {
+	return Objective{
+		Name: "genet-normalized",
+		Need: NeedBaseline,
+		Score: func(_ env.Config, ev EvalResult) float64 {
+			return nanGuard(ev.NormGapToBaseline())
+		},
+	}
+}
+
+// NormalizedOptGapObjective is CL3's gap-to-optimum on normalized rewards.
+func NormalizedOptGapObjective() Objective {
+	return Objective{
+		Name: "cl3-normalized",
+		Need: NeedOptimal,
+		Score: func(_ env.Config, ev EvalResult) float64 {
+			return nanGuard(ev.NormGapToOptimal())
+		},
+	}
+}
+
+// BaselinePerfObjective is CL2: promote where the rule-based baseline itself
+// performs badly (low baseline reward = "difficult" environment).
+func BaselinePerfObjective() Objective {
+	return Objective{
+		Name: "cl2-baseline-difficulty",
+		Need: NeedBaseline,
+		Score: func(_ env.Config, ev EvalResult) float64 {
+			return nanGuard(-ev.Baseline)
+		},
+	}
+}
+
+// RobustifyObjective reproduces the §A.6 variant of Robustifying [19]: BO
+// maximizes the gap to the optimum penalized by bandwidth non-smoothness.
+// nonSmoothness maps a configuration to its penalty term (e.g. bandwidth
+// change frequency x range); rho is the penalty weight (the paper sweeps
+// 0.1/0.5/1).
+func RobustifyObjective(rho float64, nonSmoothness func(env.Config) float64) Objective {
+	return Objective{
+		Name: fmt.Sprintf("robustify-rho%.1f", rho),
+		Need: NeedOptimal,
+		Score: func(cfg env.Config, ev EvalResult) float64 {
+			return nanGuard(ev.GapToOptimal()) - rho*nonSmoothness(cfg)
+		},
+	}
+}
+
+// Options configure a Genet training run (Algorithm 2 defaults from §4.2).
+type Options struct {
+	// Rounds is the number of curriculum iterations; the paper stops
+	// after changing the distribution 9 times.
+	Rounds int
+	// ItersPerRound is the fixed number of RL training iterations between
+	// environment promotions (default 10).
+	ItersPerRound int
+	// BOSteps is the BO evaluation budget per round (default 15).
+	BOSteps int
+	// EnvsPerEval is k, the environments per gap estimate (default 10).
+	EnvsPerEval int
+	// PromoteWeight is w, the mixture weight of each promoted
+	// configuration (default 0.3).
+	PromoteWeight float64
+	// Objective is the promotion criterion (default gap-to-baseline).
+	Objective Objective
+	// WarmupIters trains on the full uniform distribution before the
+	// first promotion ("GENET does begin the training over the whole
+	// space of environments in the first iteration", §4.2). Default 10.
+	WarmupIters int
+	// Search selects the environment-space searcher; BO by default.
+	// The Fig 20 comparison swaps in random or coordinate search.
+	Search SearchKind
+	// AfterRound, when non-nil, runs after each curriculum round (and
+	// once with round == -1 after warm-up). Training-curve experiments
+	// use it to checkpoint test rewards.
+	AfterRound func(round int)
+	// ExplorationFloor forces at least this fraction of training samples
+	// to come from the original uniform distribution. The paper found
+	// this classic anti-forgetting measure makes Genet *worse* (footnote
+	// 7); it is exposed for the forgetting ablation and defaults to off.
+	ExplorationFloor float64
+}
+
+// SearchKind selects how the sequencing module explores the config space.
+type SearchKind int
+
+// Searcher kinds.
+const (
+	SearchBO SearchKind = iota
+	SearchRandom
+	SearchCoordinate
+)
+
+func (o *Options) defaults() {
+	if o.Rounds <= 0 {
+		o.Rounds = 9
+	}
+	if o.ItersPerRound <= 0 {
+		o.ItersPerRound = 10
+	}
+	if o.BOSteps <= 0 {
+		o.BOSteps = 15
+	}
+	if o.EnvsPerEval <= 0 {
+		o.EnvsPerEval = 10
+	}
+	if o.PromoteWeight <= 0 || o.PromoteWeight >= 1 {
+		o.PromoteWeight = 0.3
+	}
+	if o.Objective.Score == nil {
+		o.Objective = GapToBaselineObjective()
+	}
+	if o.WarmupIters < 0 {
+		o.WarmupIters = 0
+	} else if o.WarmupIters == 0 {
+		o.WarmupIters = 10
+	}
+}
+
+// RoundReport records one curriculum round.
+type RoundReport struct {
+	Round        int
+	Promoted     env.Config
+	Score        float64   // objective value of the promoted config
+	SearchEvals  int       // environment-space points evaluated
+	TrainRewards []float64 // per-iteration training rewards after promotion
+}
+
+// Report is the outcome of a Genet run.
+type Report struct {
+	Strategy     string
+	WarmupCurve  []float64
+	Rounds       []RoundReport
+	Distribution *env.Distribution
+}
+
+// TrainingCurve concatenates warm-up and per-round training rewards.
+func (r *Report) TrainingCurve() []float64 {
+	out := append([]float64(nil), r.WarmupCurve...)
+	for _, round := range r.Rounds {
+		out = append(out, round.TrainRewards...)
+	}
+	return out
+}
+
+// Trainer runs the Genet curriculum loop against a harness.
+type Trainer struct {
+	h    Harness
+	opts Options
+}
+
+// NewTrainer builds a trainer; opts fields at zero take Algorithm 2
+// defaults.
+func NewTrainer(h Harness, opts Options) *Trainer {
+	opts.defaults()
+	return &Trainer{h: h, opts: opts}
+}
+
+// Options returns the resolved options.
+func (t *Trainer) Options() Options { return t.opts }
+
+// Run executes the full curriculum (Algorithm 2):
+//
+//  1. warm-up training over the uniform distribution;
+//  2. per round: search the config space for the objective's maximizer
+//     (restarting the search from scratch each round — the rewarding
+//     environments change when the model changes), promote it into the
+//     training distribution with weight w, and train ItersPerRound more
+//     iterations.
+func (t *Trainer) Run(rng *rand.Rand) (*Report, error) {
+	rep := &Report{
+		Strategy:     t.opts.Objective.Name,
+		Distribution: env.NewDistribution(t.h.Space()),
+	}
+	rep.Distribution.SetExplorationFloor(t.opts.ExplorationFloor)
+	if t.opts.WarmupIters > 0 {
+		rep.WarmupCurve = t.h.Train(rep.Distribution, t.opts.WarmupIters, rng)
+	}
+	if t.opts.AfterRound != nil {
+		t.opts.AfterRound(-1)
+	}
+	for round := 0; round < t.opts.Rounds; round++ {
+		cfg, score, evals, err := t.searchOnce(rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d search: %w", round, err)
+		}
+		if err := rep.Distribution.Promote(cfg, t.opts.PromoteWeight); err != nil {
+			return nil, fmt.Errorf("core: round %d promote: %w", round, err)
+		}
+		curve := t.h.Train(rep.Distribution, t.opts.ItersPerRound, rng)
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			Round:        round,
+			Promoted:     cfg,
+			Score:        score,
+			SearchEvals:  evals,
+			TrainRewards: curve,
+		})
+		if t.opts.AfterRound != nil {
+			t.opts.AfterRound(round)
+		}
+	}
+	return rep, nil
+}
+
+// searchOnce runs one environment-space search for the current model and
+// returns the best configuration found.
+func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, int, error) {
+	space := t.h.Space()
+	objective := func(x []float64) float64 {
+		cfg, err := space.FromUnit(x)
+		if err != nil {
+			return math.Inf(-1) // unreachable: searcher dims match the space
+		}
+		ev := t.h.Eval(cfg, t.opts.EnvsPerEval, t.opts.Objective.Need, rng)
+		return t.opts.Objective.Score(cfg, ev)
+	}
+	var (
+		tr  *bo.Trace
+		err error
+	)
+	switch t.opts.Search {
+	case SearchRandom:
+		tr = bo.RandomSearch(objective, space.NumDims(), t.opts.BOSteps, rng)
+	case SearchCoordinate:
+		tr = bo.CoordinateSearch(objective, space.NumDims(), 5, t.opts.BOSteps, rng)
+	default:
+		tr, err = bo.Maximize(objective, bo.Options{Dims: space.NumDims(), Steps: t.opts.BOSteps}, rng)
+		if err != nil {
+			return env.Config{}, 0, 0, err
+		}
+	}
+	best, ok := tr.Best()
+	if !ok {
+		return env.Config{}, 0, 0, fmt.Errorf("core: empty search trace")
+	}
+	cfg, err := space.FromUnit(best.X)
+	if err != nil {
+		return env.Config{}, 0, 0, err
+	}
+	return cfg, best.Value, len(tr.Evals), nil
+}
+
+// HeuristicSchedule is CL1 (§5.5): instead of searching, promote a
+// hand-scheduled configuration each round — e.g. monotonically increasing
+// bandwidth-fluctuation frequency. Schedule maps (round, totalRounds) to
+// the configuration to promote.
+type HeuristicSchedule func(round, totalRounds int, space *env.Space) env.Config
+
+// RunHeuristicCurriculum trains with a CL1-style hand-picked curriculum
+// using the same round structure as Genet.
+func RunHeuristicCurriculum(h Harness, opts Options, schedule HeuristicSchedule, rng *rand.Rand) (*Report, error) {
+	opts.defaults()
+	rep := &Report{
+		Strategy:     "cl1-heuristic",
+		Distribution: env.NewDistribution(h.Space()),
+	}
+	if opts.WarmupIters > 0 {
+		rep.WarmupCurve = h.Train(rep.Distribution, opts.WarmupIters, rng)
+	}
+	if opts.AfterRound != nil {
+		opts.AfterRound(-1)
+	}
+	for round := 0; round < opts.Rounds; round++ {
+		cfg := schedule(round, opts.Rounds, h.Space())
+		if err := rep.Distribution.Promote(cfg, opts.PromoteWeight); err != nil {
+			return nil, fmt.Errorf("core: CL1 round %d: %w", round, err)
+		}
+		curve := h.Train(rep.Distribution, opts.ItersPerRound, rng)
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			Round: round, Promoted: cfg, TrainRewards: curve,
+		})
+		if opts.AfterRound != nil {
+			opts.AfterRound(round)
+		}
+	}
+	return rep, nil
+}

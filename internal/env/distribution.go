@@ -1,0 +1,137 @@
+package env
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Distribution is a probability distribution over environment
+// configurations: the object Genet's curriculum updates between training
+// rounds (§4.2).
+//
+// It starts as the uniform distribution over a Space. Each Promote(p, w)
+// call mixes in a point mass: D' = (1-w)·D + w·δ(p). Sampling therefore
+// picks the most recent promotion with probability w, the one before with
+// probability w(1-w), and so on, falling back to a uniform draw from the
+// base space with probability (1-w)^m after m promotions — exactly the decay
+// the paper describes ("by [round 9], the original environment distribution
+// still accounts for about 10%" with w=0.3... (0.7)^9 ≈ 4%; the paper's 10%
+// figure counts its warm-up rounds, which we reproduce in the trainer).
+type Distribution struct {
+	space     *Space
+	promoted  []Config
+	weights   []float64 // promotion weight w used at each Promote call
+	maxConfig int       // optional cap on retained promotions (0 = unlimited)
+	// exploreFloor forces at least this probability of a uniform base
+	// draw regardless of promotions — the classic anti-forgetting
+	// strategy the paper tried and found harmful (§4.2, footnote 7). It
+	// exists so the ablation can reproduce that finding.
+	exploreFloor float64
+}
+
+// SetExplorationFloor forces at least frac of samples to come from the
+// uniform base distribution. The paper reports this hurts Genet (footnote
+// 7); it is exposed for the forgetting ablation.
+func (d *Distribution) SetExplorationFloor(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	d.exploreFloor = frac
+}
+
+// NewDistribution returns the uniform distribution over space.
+func NewDistribution(space *Space) *Distribution {
+	return &Distribution{space: space}
+}
+
+// Space returns the base configuration space.
+func (d *Distribution) Space() *Space { return d.space }
+
+// Promote mixes config in with the given weight w in (0,1).
+func (d *Distribution) Promote(c Config, w float64) error {
+	if w <= 0 || w >= 1 {
+		return fmt.Errorf("env: promotion weight %v outside (0,1)", w)
+	}
+	if c.Space() != d.space {
+		return fmt.Errorf("env: promoted config belongs to a different space")
+	}
+	d.promoted = append(d.promoted, c)
+	d.weights = append(d.weights, w)
+	if d.maxConfig > 0 && len(d.promoted) > d.maxConfig {
+		d.promoted = d.promoted[len(d.promoted)-d.maxConfig:]
+		d.weights = d.weights[len(d.weights)-d.maxConfig:]
+	}
+	return nil
+}
+
+// NumPromoted returns how many configurations have been promoted.
+func (d *Distribution) NumPromoted() int { return len(d.promoted) }
+
+// Promoted returns a copy of the promoted configurations, oldest first.
+func (d *Distribution) Promoted() []Config {
+	return append([]Config(nil), d.promoted...)
+}
+
+// BaseWeight returns the probability mass remaining on the uniform base
+// distribution.
+func (d *Distribution) BaseWeight() float64 {
+	p := 1.0
+	for _, w := range d.weights {
+		p *= 1 - w
+	}
+	return p
+}
+
+// PromotionWeight returns the current sampling probability of the i-th
+// promotion (oldest = 0).
+func (d *Distribution) PromotionWeight(i int) float64 {
+	if i < 0 || i >= len(d.promoted) {
+		return 0
+	}
+	p := d.weights[i]
+	for _, w := range d.weights[i+1:] {
+		p *= 1 - w
+	}
+	return p
+}
+
+// Sample draws a configuration: newest promotions first by their mixture
+// weights, otherwise a uniform draw from the base space. An exploration
+// floor, when set, preempts the mixture with a uniform draw.
+func (d *Distribution) Sample(rng *rand.Rand) Config {
+	if d.exploreFloor > 0 && rng.Float64() < d.exploreFloor {
+		return d.space.Sample(rng)
+	}
+	for i := len(d.promoted) - 1; i >= 0; i-- {
+		if rng.Float64() < d.weights[i] {
+			return d.promoted[i]
+		}
+	}
+	return d.space.Sample(rng)
+}
+
+// Clone returns an independent copy of the distribution (sharing the
+// immutable space).
+func (d *Distribution) Clone() *Distribution {
+	return &Distribution{
+		space:        d.space,
+		promoted:     append([]Config(nil), d.promoted...),
+		weights:      append([]float64(nil), d.weights...),
+		maxConfig:    d.maxConfig,
+		exploreFloor: d.exploreFloor,
+	}
+}
+
+// String summarizes the mixture.
+func (d *Distribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "base(uniform)=%.1f%%", 100*d.BaseWeight())
+	for i := range d.promoted {
+		fmt.Fprintf(&b, " +%.1f%%[%s]", 100*d.PromotionWeight(i), d.promoted[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistributionStartsUniform(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if d.BaseWeight() != 1 {
+		t.Fatalf("BaseWeight = %v, want 1", d.BaseWeight())
+	}
+	if d.NumPromoted() != 0 {
+		t.Fatalf("NumPromoted = %d", d.NumPromoted())
+	}
+}
+
+func TestPromoteWeights(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	c1 := s.Default(nil).With("a", 1)
+	c2 := s.Default(nil).With("a", 2)
+	if err := d.Promote(c1, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Promote(c2, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	// Newest promotion: 0.3; older: 0.3*0.7; base: 0.7^2.
+	if got := d.PromotionWeight(1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("newest weight = %v", got)
+	}
+	if got := d.PromotionWeight(0); math.Abs(got-0.21) > 1e-12 {
+		t.Fatalf("older weight = %v", got)
+	}
+	if got := d.BaseWeight(); math.Abs(got-0.49) > 1e-12 {
+		t.Fatalf("base weight = %v", got)
+	}
+	// Weights must sum to one.
+	sum := d.BaseWeight()
+	for i := 0; i < d.NumPromoted(); i++ {
+		sum += d.PromotionWeight(i)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestPromoteRejectsBadWeight(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	c := s.Default(nil)
+	if err := d.Promote(c, 0); err == nil {
+		t.Fatal("weight 0 accepted")
+	}
+	if err := d.Promote(c, 1); err == nil {
+		t.Fatal("weight 1 accepted")
+	}
+}
+
+func TestPromoteRejectsForeignConfig(t *testing.T) {
+	s1 := testSpace(t)
+	s2 := testSpace(t)
+	d := NewDistribution(s1)
+	if err := d.Promote(s2.Default(nil), 0.3); err == nil {
+		t.Fatal("config from a different space accepted")
+	}
+}
+
+func TestSampleFrequencies(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	promoted := s.Default(nil).With("a", 7.25)
+	if err := d.Promote(promoted, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng).Get("a") == 7.25 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("promoted config sampled %.3f of the time, want ~0.30", frac)
+	}
+}
+
+func TestNinePromotionsLeaveSmallBase(t *testing.T) {
+	// §4.2: after 9 promotions at w=0.3 the base distribution retains
+	// (0.7)^9 ~ 4% of the mass.
+	s := testSpace(t)
+	d := NewDistribution(s)
+	for i := 0; i < 9; i++ {
+		if err := d.Promote(s.Default(nil), 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := math.Pow(0.7, 9)
+	if got := d.BaseWeight(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("base after 9 rounds = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	if err := c.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPromoted() != 1 || c.NumPromoted() != 2 {
+		t.Fatalf("clone not independent: %d vs %d", d.NumPromoted(), c.NumPromoted())
+	}
+}
+
+func TestPromotedReturnsCopies(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Promoted()
+	if len(got) != 1 {
+		t.Fatalf("Promoted len = %d", len(got))
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String after promote")
+	}
+}
+
+func TestPromotionWeightOutOfRange(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if d.PromotionWeight(0) != 0 || d.PromotionWeight(-1) != 0 {
+		t.Fatal("out-of-range PromotionWeight should be 0")
+	}
+}

@@ -1,0 +1,133 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRangeLevelString(t *testing.T) {
+	if RL1.String() != "RL1" || RL2.String() != "RL2" || RL3.String() != "RL3" {
+		t.Fatal("RangeLevel strings wrong")
+	}
+	if RangeLevel(0).String() != "RL?" {
+		t.Fatal("unknown level should stringify to RL?")
+	}
+}
+
+func TestABRSpaceNesting(t *testing.T) {
+	// Every RL1 range must sit inside RL2, and RL2 inside RL3 (Fig 2's
+	// nested widening).
+	assertNested(t, ABRSpace(RL1), ABRSpace(RL2))
+	assertNested(t, ABRSpace(RL2), ABRSpace(RL3))
+}
+
+func TestLBSpaceNesting(t *testing.T) {
+	assertNested(t, LBSpace(RL1), LBSpace(RL2))
+	assertNested(t, LBSpace(RL2), LBSpace(RL3))
+}
+
+func TestCCSpaceRL3Widest(t *testing.T) {
+	// The CC RL1/RL2 presets are the table's literal example sets, which
+	// are inside RL3 but not concentric with each other; only verify the
+	// RL3 envelope.
+	assertNested(t, CCSpace(RL1), CCSpace(RL3))
+	assertNested(t, CCSpace(RL2), CCSpace(RL3))
+}
+
+func assertNested(t *testing.T, inner, outer *Space) {
+	t.Helper()
+	for _, di := range inner.Dims() {
+		idx := outer.DimIndex(di.Name)
+		if idx < 0 {
+			t.Fatalf("dimension %q missing from outer space", di.Name)
+		}
+		do := outer.Dims()[idx]
+		if di.Min < do.Min-1e-9 || di.Max > do.Max+1e-9 {
+			t.Errorf("dimension %q: inner [%v, %v] outside outer [%v, %v]",
+				di.Name, di.Min, di.Max, do.Min, do.Max)
+		}
+	}
+}
+
+func TestABRDefaultsMatchTable3(t *testing.T) {
+	d := ABRDefaults()
+	want := map[string]float64{
+		ABRMaxBuffer: 60, ABRChunkLength: 4, ABRMinRTT: 80,
+		ABRVideoLength: 196, ABRBWChangeInterval: 5, ABRMaxBW: 5,
+	}
+	for k, v := range want {
+		if d[k] != v {
+			t.Errorf("%s default = %v, want %v", k, d[k], v)
+		}
+	}
+}
+
+func TestCCDefaultsMatchTable4(t *testing.T) {
+	d := CCDefaults()
+	want := map[string]float64{
+		CCMaxBW: 3.16, CCMinRTT: 100, CCBWChangeInterval: 7.5,
+		CCLossRate: 0, CCQueue: 10, CCDelayNoise: 0,
+	}
+	for k, v := range want {
+		if d[k] != v {
+			t.Errorf("%s default = %v, want %v", k, d[k], v)
+		}
+	}
+}
+
+func TestDefaultsInsideRL3(t *testing.T) {
+	cases := []struct {
+		space    *Space
+		defaults map[string]float64
+	}{
+		{ABRSpace(RL3), ABRDefaults()},
+		{CCSpace(RL3), CCDefaults()},
+		{LBSpace(RL3), LBDefaults()},
+	}
+	for _, c := range cases {
+		cfg := c.space.Default(c.defaults)
+		for name, v := range c.defaults {
+			// Config clamps, so equality means the default was in range.
+			if cfg.Get(name) != v {
+				t.Errorf("default %s=%v clamped to %v (outside RL3 range)", name, v, cfg.Get(name))
+			}
+		}
+	}
+}
+
+func TestSpacesSampleable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []*Space{
+		ABRSpace(RL1), ABRSpace(RL2), ABRSpace(RL3),
+		CCSpace(RL1), CCSpace(RL2), CCSpace(RL3),
+		LBSpace(RL1), LBSpace(RL2), LBSpace(RL3),
+	} {
+		for i := 0; i < 10; i++ {
+			_ = s.Sample(rng) // panics are failures
+		}
+	}
+}
+
+func TestCCTableLiteralRanges(t *testing.T) {
+	s := CCSpace(RL3)
+	d := s.Dims()[s.DimIndex(CCMaxBW)]
+	if d.Min != 0.1 || d.Max != 100 {
+		t.Fatalf("CC RL3 max-bw = [%v, %v], want [0.1, 100]", d.Min, d.Max)
+	}
+	q := s.Dims()[s.DimIndex(CCQueue)]
+	if q.Min != 2 || q.Max != 200 || !q.Integer {
+		t.Fatalf("CC RL3 queue = %+v", q)
+	}
+}
+
+func TestABRTableLiteralRanges(t *testing.T) {
+	s := ABRSpace(RL3)
+	d := s.Dims()[s.DimIndex(ABRMaxBW)]
+	if d.Min != 2 || d.Max != 1000 || !d.Log {
+		t.Fatalf("ABR RL3 max-bw = %+v", d)
+	}
+	rtt := s.Dims()[s.DimIndex(ABRMinRTT)]
+	if rtt.Min != 20 || rtt.Max != 1000 {
+		t.Fatalf("ABR RL3 min-rtt = [%v, %v]", rtt.Min, rtt.Max)
+	}
+}

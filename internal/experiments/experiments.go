@@ -1,0 +1,223 @@
+// Package experiments contains one runner per table and figure of the Genet
+// paper's evaluation (§2 motivation, §5 evaluation, appendix §A.8). Each
+// runner builds its own workloads, trains the policies it compares, and
+// returns a Result whose rows mirror the series the paper plots.
+//
+// Runners accept a Scale: Smoke keeps go test fast, CI is a minutes-scale
+// check, and Full approaches the paper's training budgets. Absolute numbers
+// differ from the paper (the substrate is a small pure-Go simulator, not the
+// authors' TensorFlow testbed); the shape of each result — who wins, by
+// roughly what factor, where crossovers fall — is the reproduction target.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scale selects the experiment budget.
+type Scale int
+
+// Scales in ascending cost.
+const (
+	// Smoke is seconds-per-experiment, for go test.
+	Smoke Scale = iota
+	// CI is minutes-per-experiment.
+	CI
+	// Full approaches the paper's budgets (hours for the training-heavy
+	// figures).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Smoke:
+		return "smoke"
+	case CI:
+		return "ci"
+	case Full:
+		return "full"
+	}
+	return "unknown"
+}
+
+// ParseScale maps a string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "smoke":
+		return Smoke, nil
+	case "ci":
+		return CI, nil
+	case "full", "paper":
+		return Full, nil
+	}
+	return Smoke, fmt.Errorf("experiments: unknown scale %q (want smoke|ci|full)", s)
+}
+
+// Row is one line of a Result.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Result is the output of one experiment: a labeled table matching the rows
+// or series of the corresponding paper artifact.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (r *Result) AddRow(label string, values ...float64) {
+	r.Rows = append(r.Rows, Row{Label: label, Values: values})
+}
+
+// Note appends a free-form note rendered under the table.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Get returns the value at (rowLabel, column), or NaN when absent.
+func (r *Result) Get(rowLabel, column string) float64 {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return math.NaN()
+	}
+	for _, row := range r.Rows {
+		if row.Label == rowLabel && ci < len(row.Values) {
+			return row.Values[ci]
+		}
+	}
+	return math.NaN()
+}
+
+// Write renders the result as an aligned text table.
+func (r *Result) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	labelW := len("series")
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	colW := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		colW[i] = len(c)
+		if colW[i] < 10 {
+			colW[i] = 10
+		}
+	}
+	fmt.Fprintf(w, "%-*s", labelW+2, "series")
+	for i, c := range r.Columns {
+		fmt.Fprintf(w, " %*s", colW[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-*s", labelW+2, row.Label)
+		for i := range r.Columns {
+			if i < len(row.Values) {
+				fmt.Fprintf(w, " %*s", colW[i], fmtF(row.Values[i]))
+			} else {
+				fmt.Fprintf(w, " %*s", colW[i], "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func fmtF(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteCSV renders the result as CSV (header row: experiment, series, then
+// the columns) for downstream plotting.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment", "series"}, r.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{r.ID, row.Label}
+		for i := range r.Columns {
+			if i < len(row.Values) && !math.IsNaN(row.Values[i]) {
+				rec = append(rec, strconv.FormatFloat(row.Values[i], 'g', 6, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale, seed int64) (*Result, error)
+
+// registry maps experiment ids to runners; populated by init funcs in the
+// per-figure files.
+var registry = map[string]Runner{}
+
+// descriptions holds a one-line summary per id for listings.
+var descriptions = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// Lookup returns the runner for id.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[strings.ToLower(id)]
+	return r, ok
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of id.
+func Describe(id string) string { return descriptions[id] }

@@ -1,0 +1,297 @@
+package lb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/genet-go/genet/internal/env"
+)
+
+func defaultLBCfg(t *testing.T, jobs float64) env.Config {
+	t.Helper()
+	return env.LBSpace(env.RL3).Default(env.LBDefaults()).With(env.LBNumJobs, jobs)
+}
+
+func TestGenerateWorkloadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 100, MeanIntervalMs: 1, NumJobs: 0}, rng); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if _, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 0, MeanIntervalMs: 1, NumJobs: 5}, rng); err == nil {
+		t.Fatal("zero job size accepted")
+	}
+	if _, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 100, MeanIntervalMs: 0, NumJobs: 5}, rng); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestWorkloadArrivalsIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 1000, MeanIntervalMs: 0.5, NumJobs: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].ArrivalMs < w.Jobs[i-1].ArrivalMs {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestWorkloadStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 2000, MeanIntervalMs: 0.2, NumJobs: 5000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizeSum, gapSum float64
+	for i, j := range w.Jobs {
+		sizeSum += j.SizeBytes
+		if i > 0 {
+			gapSum += j.ArrivalMs - w.Jobs[i-1].ArrivalMs
+		}
+	}
+	meanSize := sizeSum / float64(len(w.Jobs))
+	meanGap := gapSum / float64(len(w.Jobs)-1)
+	// Pareto mean 2000 (tail-capped, so slightly below); exp gap 0.2.
+	if meanSize < 1200 || meanSize > 2600 {
+		t.Fatalf("mean size = %v, want ~2000", meanSize)
+	}
+	if meanGap < 0.17 || meanGap > 0.23 {
+		t.Fatalf("mean gap = %v, want ~0.2", meanGap)
+	}
+}
+
+func TestWorkloadHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w, err := GenerateWorkload(WorkloadParams{MeanJobBytes: 1000, MeanIntervalMs: 1, NumJobs: 5000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for _, j := range w.Jobs {
+		if j.SizeBytes > 5000 {
+			big++
+		}
+		if j.SizeBytes > 50*1000 {
+			t.Fatalf("tail cap broken: %v", j.SizeBytes)
+		}
+	}
+	if big == 0 {
+		t.Fatal("Pareto tail produced no large jobs")
+	}
+}
+
+func TestNewClusterRates(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.RatesBytesPerMs) != NumServers {
+		t.Fatalf("servers = %d", len(c.RatesBytesPerMs))
+	}
+	if c.RatesBytesPerMs[0] != 1000 || c.RatesBytesPerMs[NumServers-1] != 4000 {
+		t.Fatalf("rate spread = [%v, %v], want [1000, 4000]", c.RatesBytesPerMs[0], c.RatesBytesPerMs[NumServers-1])
+	}
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestClusterDrain(t *testing.T) {
+	c, err := NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := c.assign(Job{SizeBytes: 1000}, 0)
+	// Server 0 rate = 500 B/ms: 1000 bytes takes 2 ms.
+	if math.Abs(delay-2) > 1e-9 {
+		t.Fatalf("delay = %v, want 2", delay)
+	}
+	c.advance(1) // half drained
+	if math.Abs(c.workBytes[0]-500) > 1e-9 {
+		t.Fatalf("work after 1ms = %v, want 500", c.workBytes[0])
+	}
+	c.advance(10)
+	if c.workBytes[0] != 0 || c.queueLen[0] != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestFIFODelayAccumulates(t *testing.T) {
+	c, err := NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := c.assign(Job{SizeBytes: 500}, 0)
+	d2 := c.assign(Job{SizeBytes: 500}, 0)
+	if d2 <= d1 {
+		t.Fatalf("second job delay %v not above first %v", d2, d1)
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, err := NewEnvFromConfig(defaultLBCfg(t, 500), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run(LLF{}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumJobs != 500 {
+		t.Fatalf("jobs = %d", m.NumJobs)
+	}
+	if m.MeanSlowdown < 1 {
+		t.Fatalf("mean slowdown %v below 1 (impossible)", m.MeanSlowdown)
+	}
+	if m.MeanReward != -m.MeanSlowdown {
+		t.Fatal("reward != -slowdown")
+	}
+	if m.P90Slowdown > SlowdownCap {
+		t.Fatalf("p90 %v above cap", m.P90Slowdown)
+	}
+}
+
+func TestSlowdownCapApplied(t *testing.T) {
+	// Overload: tiny service rate, heavy arrivals; Naive makes it worse.
+	cfg := defaultLBCfg(t, 400).With(env.LBServiceRate, 0.1).With(env.LBJobInterval, 0.02)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run(Naive{}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanSlowdown > SlowdownCap {
+		t.Fatalf("capped slowdown %v above %v", m.MeanSlowdown, SlowdownCap)
+	}
+	if m.MeanDelayMs <= 0 {
+		t.Fatal("raw delay missing")
+	}
+}
+
+func TestSameSeedSameResult(t *testing.T) {
+	cfg := defaultLBCfg(t, 300)
+	e1, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := e1.Run(LLF{}, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e2.Run(LLF{}, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.MeanReward != m2.MeanReward {
+		t.Fatal("same seeds, different results")
+	}
+}
+
+func TestStepperMatchesRun(t *testing.T) {
+	cfg := defaultLBCfg(t, 200)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStepper(rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := LLF{}
+	var total float64
+	n := 0
+	for !st.Done() {
+		obs := st.Observe()
+		slow, _ := st.Assign(p.Select(obs))
+		total += math.Min(slow, SlowdownCap)
+		n++
+	}
+	m, err := e.Run(LLF{}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(-total/float64(n)-m.MeanReward) > 1e-9 {
+		t.Fatalf("stepper total %v != Run %v", -total/float64(n), m.MeanReward)
+	}
+}
+
+func TestObserveAfterDonePanics(t *testing.T) {
+	cfg := defaultLBCfg(t, 10)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStepper(rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Done() {
+		st.Observe()
+		st.Assign(0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after done did not panic")
+		}
+	}()
+	st.Observe()
+}
+
+func TestShuffleProbabilityZeroIdentity(t *testing.T) {
+	cfg := defaultLBCfg(t, 50).With(env.LBQueueShuf, 0.1) // dimension min is 0.1
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ShuffleProb = 0 // force off
+	st, err := e.NewStepper(rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Done() {
+		obs := st.Observe()
+		for i, p := range obs.Perm {
+			if p != i {
+				t.Fatal("perm not identity with shuffle off")
+			}
+		}
+		st.Assign(0)
+	}
+}
+
+func TestSlowdownAlwaysAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := env.LBSpace(env.RL3).Sample(rng).With(env.LBNumJobs, 50)
+		e, err := NewEnvFromConfig(cfg, rng)
+		if err != nil {
+			return false
+		}
+		st, err := e.NewStepper(rng)
+		if err != nil {
+			return false
+		}
+		for !st.Done() {
+			st.Observe()
+			slow, _ := st.Assign(rng.Intn(NumServers))
+			if slow < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package lb
+
+import (
+	"math/rand"
+)
+
+// LLF (least-load-first) routes to the observed server with the least
+// outstanding work: the rule-based baseline the paper uses for LB.
+type LLF struct{}
+
+// Name implements Policy.
+func (LLF) Name() string { return "LLF" }
+
+// Reset implements Policy.
+func (LLF) Reset() {}
+
+// Select implements Policy.
+func (LLF) Select(obs *Observation) int {
+	best := 0
+	for i, w := range obs.QueuedWork {
+		if w < obs.QueuedWork[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// FewestRequests routes to the observed server with the fewest queued
+// requests (a join-shortest-queue variant that ignores job sizes; the
+// "shortest-job-first" style baseline of §4.3).
+type FewestRequests struct{}
+
+// Name implements Policy.
+func (FewestRequests) Name() string { return "FewestRequests" }
+
+// Reset implements Policy.
+func (FewestRequests) Reset() {}
+
+// Select implements Policy.
+func (FewestRequests) Select(obs *Observation) int {
+	best := 0
+	for i, q := range obs.QueuedRequests {
+		if q < obs.QueuedRequests[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through servers regardless of load.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "RoundRobin" }
+
+// Reset implements Policy.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
+// Select implements Policy.
+func (r *RoundRobin) Select(obs *Observation) int {
+	c := r.next
+	r.next = (r.next + 1) % NumServers
+	return c
+}
+
+// Random routes uniformly at random.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "Random" }
+
+// Reset implements Policy.
+func (*Random) Reset() {}
+
+// Select implements Policy.
+func (p *Random) Select(obs *Observation) int { return p.Rng.Intn(NumServers) }
+
+// Naive is the deliberately unreasonable §5.4 baseline: it routes every job
+// to the *most* loaded server.
+type Naive struct{}
+
+// Name implements Policy.
+func (Naive) Name() string { return "NaiveLB" }
+
+// Reset implements Policy.
+func (Naive) Reset() {}
+
+// Select implements Policy.
+func (Naive) Select(obs *Observation) int {
+	worst := 0
+	for i, w := range obs.QueuedWork {
+		if w > obs.QueuedWork[worst] {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// Oracle routes to the server that truly minimizes this job's completion
+// delay, reading the hidden service rates and the unshuffled state; the
+// greedy lower bound used for gap-to-optimum comparisons.
+type Oracle struct {
+	Rates []float64 // bytes/ms, true rates in server order
+}
+
+// Name implements Policy.
+func (*Oracle) Name() string { return "Oracle" }
+
+// Reset implements Policy.
+func (*Oracle) Reset() {}
+
+// Select implements Policy.
+func (o *Oracle) Select(obs *Observation) int {
+	// Invert the shuffle: evaluate true completion delay per server, then
+	// return the observed index mapping to the best true server.
+	bestObserved, bestDelay := 0, -1.0
+	for observed, srv := range obs.Perm {
+		rate := o.Rates[srv]
+		if rate <= 0 {
+			continue
+		}
+		delay := (obs.QueuedWork[observed] + obs.JobSizeBytes) / rate
+		if bestDelay < 0 || delay < bestDelay {
+			bestDelay = delay
+			bestObserved = observed
+		}
+	}
+	return bestObserved
+}
+
+// OracleRatesFor returns the true service rates for an environment, for
+// constructing an Oracle policy.
+func OracleRatesFor(e *Env) ([]float64, error) {
+	c, err := NewCluster(e.MaxRateMBps)
+	if err != nil {
+		return nil, err
+	}
+	return c.RatesBytesPerMs, nil
+}
+
+// PowerOfTwo implements the power-of-two-choices rule: probe two random
+// observed servers and route to the one with less queued work. A classic
+// low-overhead randomized baseline between Random and LLF.
+type PowerOfTwo struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (*PowerOfTwo) Name() string { return "PowerOfTwo" }
+
+// Reset implements Policy.
+func (*PowerOfTwo) Reset() {}
+
+// Select implements Policy.
+func (p *PowerOfTwo) Select(obs *Observation) int {
+	a := p.Rng.Intn(NumServers)
+	b := p.Rng.Intn(NumServers)
+	if obs.QueuedWork[b] < obs.QueuedWork[a] {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,254 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/rl"
+)
+
+func fakeObs() *Observation {
+	perm := make([]int, NumServers)
+	identityPerm(perm)
+	work := make([]float64, NumServers)
+	reqs := make([]int, NumServers)
+	for i := range work {
+		work[i] = float64(i) * 100
+		reqs[i] = NumServers - i
+	}
+	return &Observation{
+		JobSizeBytes: 500, MeanJobBytes: 1000, IntervalMs: 0.1,
+		QueuedWork: work, QueuedRequests: reqs, Perm: perm,
+	}
+}
+
+func TestLLFPicksLeastWork(t *testing.T) {
+	if got := (LLF{}).Select(fakeObs()); got != 0 {
+		t.Fatalf("LLF = %d, want 0", got)
+	}
+}
+
+func TestFewestRequestsPicksLeastCount(t *testing.T) {
+	if got := (FewestRequests{}).Select(fakeObs()); got != NumServers-1 {
+		t.Fatalf("FewestRequests = %d, want %d", got, NumServers-1)
+	}
+}
+
+func TestNaivePicksMostWork(t *testing.T) {
+	if got := (Naive{}).Select(fakeObs()); got != NumServers-1 {
+		t.Fatalf("Naive = %d, want most loaded", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	rr.Reset()
+	obs := fakeObs()
+	for i := 0; i < 2*NumServers; i++ {
+		if got := rr.Select(obs); got != i%NumServers {
+			t.Fatalf("round robin step %d = %d", i, got)
+		}
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	p := &Random{Rng: rand.New(rand.NewSource(1))}
+	obs := fakeObs()
+	for i := 0; i < 100; i++ {
+		if got := p.Select(obs); got < 0 || got >= NumServers {
+			t.Fatalf("random out of range: %d", got)
+		}
+	}
+}
+
+func TestOracleUnshufflesPermutation(t *testing.T) {
+	obs := fakeObs()
+	// Reverse shuffle: observed i -> true server NumServers-1-i.
+	for i := range obs.Perm {
+		obs.Perm[i] = NumServers - 1 - i
+	}
+	rates, err := OracleRatesFor(&Env{MaxRateMBps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Oracle{Rates: rates}
+	choice := o.Select(obs)
+	// The oracle must return an observed index; mapping through Perm
+	// gives the true server. Verify it minimizes true delay.
+	bestTrue := -1
+	bestDelay := -1.0
+	for observed, srv := range obs.Perm {
+		d := (obs.QueuedWork[observed] + obs.JobSizeBytes) / rates[srv]
+		if bestDelay < 0 || d < bestDelay {
+			bestDelay = d
+			bestTrue = observed
+		}
+	}
+	if choice != bestTrue {
+		t.Fatalf("oracle chose %d, want %d", choice, bestTrue)
+	}
+}
+
+func TestPolicyRanking(t *testing.T) {
+	// On a moderately loaded, lightly shuffled workload: LLF beats
+	// round-robin, which beats naive.
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).
+		With(env.LBNumJobs, 800).
+		With(env.LBQueueShuf, 0.1)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Policy) float64 {
+		m, err := e.Run(p, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MeanReward
+	}
+	llf := run(LLF{})
+	rr := run(&RoundRobin{})
+	naive := run(Naive{})
+	if !(llf > rr && rr > naive) {
+		t.Fatalf("ranking violated: LLF %v, RR %v, Naive %v", llf, rr, naive)
+	}
+}
+
+func TestOracleCompetitiveWithLLF(t *testing.T) {
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).
+		With(env.LBNumJobs, 800).With(env.LBQueueShuf, 0.1)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := OracleRatesFor(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := e.Run(&Oracle{Rates: rates}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := e.Run(LLF{}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy oracle is not globally optimal but must be within 25% of LLF.
+	if om.MeanReward < lm.MeanReward*1.25 {
+		t.Fatalf("oracle %v far below LLF %v", om.MeanReward, lm.MeanReward)
+	}
+}
+
+func TestLBPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"LLF": LLF{}, "FewestRequests": FewestRequests{}, "RoundRobin": &RoundRobin{},
+		"Random": &Random{}, "NaiveLB": Naive{}, "Oracle": &Oracle{},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestRLEnvContract(t *testing.T) {
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).With(env.LBNumJobs, 40)
+	e := NewRLEnv(GenFromConfig(cfg))
+	if e.ObsSize() != ObsSize || e.NumActions() != NumServers {
+		t.Fatalf("dims = %d, %d", e.ObsSize(), e.NumActions())
+	}
+	rng := rand.New(rand.NewSource(5))
+	obs := e.Reset(rng)
+	if len(obs) != ObsSize {
+		t.Fatalf("obs len = %d", len(obs))
+	}
+	steps := 0
+	done := false
+	var r float64
+	for !done {
+		obs, r, done = e.Step(steps % NumServers)
+		if len(obs) != ObsSize {
+			t.Fatal("bad obs size")
+		}
+		if r > 0 || r < -SlowdownCap {
+			t.Fatalf("reward %v outside [-cap, 0]", r)
+		}
+		steps++
+	}
+	if steps != 40 {
+		t.Fatalf("steps = %d, want 40 (one per job)", steps)
+	}
+}
+
+func TestRLEnvObsValuesBounded(t *testing.T) {
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).With(env.LBNumJobs, 60)
+	e := NewRLEnv(GenFromConfig(cfg))
+	rng := rand.New(rand.NewSource(6))
+	obs := e.Reset(rng)
+	done := false
+	for !done {
+		for i, v := range obs {
+			if v < 0 || v > 1 {
+				t.Fatalf("obs[%d] = %v", i, v)
+			}
+		}
+		obs, _, done = e.Step(0)
+	}
+}
+
+func TestAgentPolicyAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(ObsSize, NumServers), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &AgentPolicy{Agent: agent}
+	if p.Name() != "RL" {
+		t.Fatal("default name")
+	}
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).With(env.LBNumJobs, 50)
+	e, err := NewEnvFromConfig(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumJobs != 50 {
+		t.Fatalf("jobs = %d", m.NumJobs)
+	}
+}
+
+func TestPowerOfTwoBetweenRandomAndLLF(t *testing.T) {
+	cfg := env.LBSpace(env.RL3).Default(env.LBDefaults()).
+		With(env.LBNumJobs, 800).With(env.LBQueueShuf, 0.1)
+	e, err := NewEnvFromConfig(cfg, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Policy) float64 {
+		m, err := e.Run(p, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MeanReward
+	}
+	llf := run(LLF{})
+	p2c := run(&PowerOfTwo{Rng: rand.New(rand.NewSource(10))})
+	random := run(&Random{Rng: rand.New(rand.NewSource(10))})
+	if !(llf >= p2c && p2c > random) {
+		t.Fatalf("ordering violated: LLF %v, P2C %v, Random %v", llf, p2c, random)
+	}
+}
+
+func TestPowerOfTwoInRange(t *testing.T) {
+	p := &PowerOfTwo{Rng: rand.New(rand.NewSource(11))}
+	obs := fakeObs()
+	for i := 0; i < 50; i++ {
+		if got := p.Select(obs); got < 0 || got >= NumServers {
+			t.Fatalf("out of range: %d", got)
+		}
+	}
+}

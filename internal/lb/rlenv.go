@@ -1,0 +1,141 @@
+package lb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/rl"
+)
+
+// ObsSize is the RL observation length: job size, inter-arrival time, and
+// per-server queued work and request counts.
+const ObsSize = 2 + 2*NumServers
+
+// ObsVector encodes an Observation for the policy network. Queued work is
+// normalized against the workload's mean job size on a log scale so the
+// encoding keeps resolution from idle queues up to deep overload, and stays
+// scale free across the Table 5 job-size range.
+func ObsVector(obs *Observation) []float64 {
+	v := make([]float64, 0, ObsSize)
+	ref := obs.MeanJobBytes
+	if ref <= 0 {
+		ref = 1
+	}
+	v = append(v, squash(obs.JobSizeBytes, 2*ref))
+	v = append(v, squash(obs.IntervalMs, 1))
+	logCap := math.Log1p(1000.0)
+	for _, w := range obs.QueuedWork {
+		v = append(v, math.Min(1, math.Log1p(w/ref)/logCap))
+	}
+	for _, q := range obs.QueuedRequests {
+		v = append(v, squash(float64(q), 8))
+	}
+	return v
+}
+
+func squash(x, c float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return x / (x + c)
+}
+
+// EnvGen produces a fresh LB environment per episode.
+type EnvGen func(rng *rand.Rand) *Env
+
+// GenFromConfig returns a generator materializing environments of a fixed
+// Table 5 configuration.
+func GenFromConfig(cfg env.Config) EnvGen {
+	return func(rng *rand.Rand) *Env {
+		e, err := NewEnvFromConfig(cfg, rng)
+		if err != nil {
+			panic(fmt.Sprintf("lb: config env: %v", err))
+		}
+		return e
+	}
+}
+
+// GenFromDistribution returns a generator that samples a configuration from
+// dist per episode.
+func GenFromDistribution(dist *env.Distribution) EnvGen {
+	return func(rng *rand.Rand) *Env {
+		e, err := NewEnvFromConfig(dist.Sample(rng), rng)
+		if err != nil {
+			panic(fmt.Sprintf("lb: distribution env: %v", err))
+		}
+		return e
+	}
+}
+
+// slowdownRewardCap bounds the per-job penalty so one pathological queue
+// cannot dominate a gradient update.
+const slowdownRewardCap = 50
+
+// RLEnv adapts the LB simulator to rl.DiscreteEnv: one step per arriving
+// job, action = observed server index, reward = −slowdown (capped).
+type RLEnv struct {
+	gen     EnvGen
+	stepper *Stepper
+}
+
+// NewRLEnv wraps an environment generator as an RL environment.
+func NewRLEnv(gen EnvGen) *RLEnv { return &RLEnv{gen: gen} }
+
+// ObsSize implements rl.DiscreteEnv.
+func (*RLEnv) ObsSize() int { return ObsSize }
+
+// NumActions implements rl.DiscreteEnv.
+func (*RLEnv) NumActions() int { return NumServers }
+
+// Reset implements rl.DiscreteEnv.
+func (e *RLEnv) Reset(rng *rand.Rand) []float64 {
+	envr := e.gen(rng)
+	st, err := envr.NewStepper(rng)
+	if err != nil {
+		panic(fmt.Sprintf("lb: stepper: %v", err))
+	}
+	e.stepper = st
+	return ObsVector(st.Observe())
+}
+
+// Step implements rl.DiscreteEnv.
+func (e *RLEnv) Step(action int) ([]float64, float64, bool) {
+	if e.stepper == nil {
+		panic("lb: Step before Reset")
+	}
+	slow, _ := e.stepper.Assign(action)
+	if slow > slowdownRewardCap {
+		slow = slowdownRewardCap
+	}
+	reward := -slow
+	if e.stepper.Done() {
+		// Terminal: return a zero observation of the right shape.
+		return make([]float64, ObsSize), reward, true
+	}
+	return ObsVector(e.stepper.Observe()), reward, false
+}
+
+// AgentPolicy adapts a trained rl.DiscreteAgent into an lb.Policy for
+// head-to-head evaluation (greedy action selection).
+type AgentPolicy struct {
+	Agent *rl.DiscreteAgent
+	Label string
+}
+
+// Name implements Policy.
+func (p *AgentPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "RL"
+}
+
+// Reset implements Policy.
+func (*AgentPolicy) Reset() {}
+
+// Select implements Policy.
+func (p *AgentPolicy) Select(obs *Observation) int {
+	return p.Agent.Greedy(ObsVector(obs))
+}

@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainRegression fits y = f(x) with the given optimizer and returns the
+// final MSE over the training points.
+func trainRegression(t *testing.T, opt Optimizer, epochs int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	m := MustMLP(rng, Tanh, 1, 16, 1)
+	target := func(x float64) float64 { return math.Sin(2 * x) }
+
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = -1.5 + 3*float64(i)/31
+	}
+	g := m.NewGrads()
+	mse := 0.0
+	for e := 0; e < epochs; e++ {
+		g.Zero()
+		mse = 0
+		for _, x := range xs {
+			out, cache := m.ForwardCache([]float64{x})
+			diff := out[0] - target(x)
+			mse += diff * diff / float64(len(xs))
+			m.Backward(cache, []float64{2 * diff / float64(len(xs))}, g)
+		}
+		opt.Step(m, g)
+	}
+	return mse
+}
+
+func TestSGDConverges(t *testing.T) {
+	mse := trainRegression(t, NewSGD(0.1), 2000)
+	if mse > 0.02 {
+		t.Fatalf("SGD final MSE = %v", mse)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	opt := NewSGD(0.05)
+	opt.Momentum = 0.9
+	mse := trainRegression(t, opt, 1200)
+	if mse > 0.02 {
+		t.Fatalf("SGD+momentum final MSE = %v", mse)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	mse := trainRegression(t, NewAdam(0.01), 800)
+	if mse > 0.01 {
+		t.Fatalf("Adam final MSE = %v", mse)
+	}
+}
+
+func TestAdamFasterThanSGDEarly(t *testing.T) {
+	sgd := trainRegression(t, NewSGD(0.01), 200)
+	adam := trainRegression(t, NewAdam(0.01), 200)
+	if adam >= sgd {
+		t.Fatalf("Adam (%v) should beat step-matched SGD (%v) early", adam, sgd)
+	}
+}
+
+func TestAdamResetClearsState(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := MustMLP(rng, Tanh, 1, 4, 1)
+	opt := NewAdam(0.01)
+	g := m.NewGrads()
+	_, cache := m.ForwardCache([]float64{1})
+	m.Backward(cache, []float64{1}, g)
+	opt.Step(m, g)
+	if opt.t != 1 {
+		t.Fatalf("step count = %d", opt.t)
+	}
+	opt.Reset()
+	if opt.t != 0 || opt.m != nil {
+		t.Fatal("Reset did not clear Adam state")
+	}
+}
+
+func TestSGDResetClearsVelocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := MustMLP(rng, Tanh, 1, 4, 1)
+	opt := NewSGD(0.1)
+	opt.Momentum = 0.9
+	g := m.NewGrads()
+	_, cache := m.ForwardCache([]float64{1})
+	m.Backward(cache, []float64{1}, g)
+	opt.Step(m, g)
+	if opt.velocity == nil {
+		t.Fatal("momentum velocity not allocated")
+	}
+	opt.Reset()
+	if opt.velocity != nil {
+		t.Fatal("Reset did not clear velocity")
+	}
+}
+
+func TestOptimizerStepDirection(t *testing.T) {
+	// A positive gradient must reduce the parameter (descent).
+	rng := rand.New(rand.NewSource(14))
+	m := MustMLP(rng, Linear, 1, 1)
+	before := m.weights[0][0]
+	g := m.NewGrads()
+	g.weights[0][0] = 1
+	NewSGD(0.5).Step(m, g)
+	if m.weights[0][0] >= before {
+		t.Fatal("SGD moved against the descent direction")
+	}
+
+	m2 := MustMLP(rng, Linear, 1, 1)
+	before2 := m2.weights[0][0]
+	g2 := m2.NewGrads()
+	g2.weights[0][0] = 1
+	NewAdam(0.5).Step(m2, g2)
+	if m2.weights[0][0] >= before2 {
+		t.Fatal("Adam moved against the descent direction")
+	}
+}

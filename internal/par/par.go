@@ -1,0 +1,72 @@
+// Package par provides the one concurrency primitive this repository needs:
+// a deterministic bounded parallel for-loop.
+//
+// Determinism discipline: callers must draw any per-iteration random seeds
+// from their sequential source *before* the loop, index results by i, and
+// reduce in index order afterwards. Under that discipline results are
+// bit-identical to the sequential loop regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs f(0..n-1) on up to GOMAXPROCS goroutines and returns when all
+// calls complete. f must not panic; a panicking iteration propagates after
+// all workers stop (standard WaitGroup semantics would otherwise deadlock).
+func For(n int, f func(i int)) {
+	ForN(n, runtime.GOMAXPROCS(0), f)
+}
+
+// ForN is For with an explicit worker cap. workers <= 1 degrades to a plain
+// sequential loop (useful under -race or for debugging).
+func ForN(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked any
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							mu.Unlock()
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

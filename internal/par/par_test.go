@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsAllIndicesOnce(t *testing.T) {
+	const n = 1000
+	var seen [n]int32
+	For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	ForN(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("callback invoked for empty range")
+	}
+}
+
+func TestForNSequentialFallback(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForN(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestForNMoreWorkersThanWork(t *testing.T) {
+	var count int32
+	ForN(3, 100, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	ForN(50, 4, func(i int) {
+		if i == 25 {
+			panic("boom")
+		}
+	})
+}
+
+func TestDeterministicReduction(t *testing.T) {
+	// Under the seeds-first discipline, parallel and sequential runs
+	// produce identical result slices.
+	const n = 200
+	run := func(workers int) []int {
+		out := make([]int, n)
+		ForN(n, workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	seq := run(1)
+	parl := run(8)
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

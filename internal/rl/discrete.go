@@ -1,0 +1,284 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/par"
+)
+
+// DiscreteConfig configures a DiscreteAgent.
+type DiscreteConfig struct {
+	ObsSize    int
+	NumActions int
+	Hidden     []int   // hidden layer widths, e.g. {64, 32}
+	LR         float64 // Adam learning rate
+	Gamma      float64 // discount
+	Lambda     float64 // GAE lambda
+	Entropy    float64 // entropy bonus coefficient
+	ValueCoef  float64 // value loss coefficient
+	ClipNorm   float64 // global gradient clip (0 disables)
+}
+
+// DefaultDiscreteConfig returns the hyperparameters used across the ABR and
+// LB experiments. Per §4.1, hyperparameters are held fixed in all runs; only
+// the environment curriculum varies.
+func DefaultDiscreteConfig(obsSize, numActions int) DiscreteConfig {
+	return DiscreteConfig{
+		ObsSize:    obsSize,
+		NumActions: numActions,
+		Hidden:     []int{64, 32},
+		LR:         5e-3,
+		Gamma:      0.99,
+		Lambda:     0.95,
+		Entropy:    0.1,
+		ValueCoef:  0.5,
+		ClipNorm:   5,
+	}
+}
+
+// DiscreteAgent is an advantage actor-critic (A2C/A3C-style) learner over a
+// categorical policy, the algorithm family Pensieve and Park use.
+type DiscreteAgent struct {
+	cfg    DiscreteConfig
+	policy *nn.MLP // obs -> action logits
+	value  *nn.MLP // obs -> scalar V(s)
+	pOpt   *nn.Adam
+	vOpt   *nn.Adam
+	pGrads *nn.Grads
+	vGrads *nn.Grads
+}
+
+// NewDiscreteAgent builds an agent with freshly initialized networks drawn
+// from rng.
+func NewDiscreteAgent(cfg DiscreteConfig, rng *rand.Rand) (*DiscreteAgent, error) {
+	if cfg.ObsSize <= 0 || cfg.NumActions <= 1 {
+		return nil, fmt.Errorf("rl: invalid discrete agent dims obs=%d actions=%d", cfg.ObsSize, cfg.NumActions)
+	}
+	pSizes := append(append([]int{cfg.ObsSize}, cfg.Hidden...), cfg.NumActions)
+	vSizes := append(append([]int{cfg.ObsSize}, cfg.Hidden...), 1)
+	policy, err := nn.NewMLP(rng, nn.Tanh, pSizes...)
+	if err != nil {
+		return nil, err
+	}
+	value, err := nn.NewMLP(rng, nn.Tanh, vSizes...)
+	if err != nil {
+		return nil, err
+	}
+	a := &DiscreteAgent{
+		cfg: cfg, policy: policy, value: value,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR),
+	}
+	a.pGrads = policy.NewGrads()
+	a.vGrads = value.NewGrads()
+	return a, nil
+}
+
+// Config returns the agent's configuration.
+func (a *DiscreteAgent) Config() DiscreteConfig { return a.cfg }
+
+// Probs returns the action distribution at obs.
+func (a *DiscreteAgent) Probs(obs []float64) []float64 {
+	return nn.Softmax(a.policy.Forward(obs))
+}
+
+// Value returns the critic's state-value estimate at obs.
+func (a *DiscreteAgent) Value(obs []float64) float64 {
+	return a.value.Forward(obs)[0]
+}
+
+// Sample draws an action from the policy and returns its log-probability.
+func (a *DiscreteAgent) Sample(obs []float64, rng *rand.Rand) (action int, logProb float64) {
+	probs := a.Probs(obs)
+	action = categoricalSample(probs, rng)
+	return action, math.Log(math.Max(probs[action], 1e-12))
+}
+
+// Greedy returns the argmax action (deterministic evaluation mode).
+func (a *DiscreteAgent) Greedy(obs []float64) int {
+	return argmaxF(a.policy.Forward(obs))
+}
+
+func argmaxF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Collect rolls the stochastic policy through env for up to maxSteps steps,
+// restarting episodes as they finish, and returns the batch. At least one
+// full episode is always collected, even if it exceeds maxSteps.
+func (a *DiscreteAgent) Collect(env DiscreteEnv, maxSteps int, rng *rand.Rand) *Batch {
+	b := &Batch{}
+	for len(b.Transitions) < maxSteps || b.Episodes == 0 {
+		obs := env.Reset(rng)
+		epReward := 0.0
+		for {
+			action, logp := a.Sample(obs, rng)
+			val := a.Value(obs)
+			next, reward, done := env.Step(action)
+			epReward += reward
+			tr := Transition{
+				Obs: append([]float64(nil), obs...), Action: action,
+				LogProb: logp, Reward: reward, Value: val, Done: done,
+			}
+			obs = next
+			if !done && len(b.Transitions)+1 >= maxSteps && b.Episodes > 0 {
+				// Truncate: bootstrap from V(s').
+				tr.Truncate = true
+				tr.LastVal = a.Value(obs)
+				b.Transitions = append(b.Transitions, tr)
+				return b
+			}
+			b.Transitions = append(b.Transitions, tr)
+			if done {
+				b.Episodes++
+				b.TotalReward += epReward
+				break
+			}
+		}
+	}
+	return b
+}
+
+// Update performs one actor-critic gradient step on the batch: policy
+// gradient with GAE advantages and entropy bonus, plus an MSE critic update.
+func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
+	if len(batch.Transitions) == 0 {
+		return UpdateStats{}
+	}
+	adv, returns := GAE(batch, a.cfg.Gamma, a.cfg.Lambda)
+	NormalizeAdvantages(adv)
+
+	a.pGrads.Zero()
+	a.vGrads.Zero()
+	var stats UpdateStats
+	n := float64(len(batch.Transitions))
+
+	for i, t := range batch.Transitions {
+		// Policy gradient. Loss_i = -adv*logπ(a|s) - entropyCoef*H(π(.|s)).
+		logits, pCache := a.policy.ForwardCache(t.Obs)
+		probs := nn.Softmax(logits)
+		h := entropy(probs)
+		stats.Entropy += h / n
+		stats.PolicyLoss += -adv[i] * math.Log(math.Max(probs[t.Action], 1e-12)) / n
+
+		// d(-adv*logπ)/dlogits = adv*(probs - onehot)
+		// dH/dlogits = -probs*(logp + H)   =>  d(-cH)/dlogits = probs*(logp+H)*c
+		grad := make([]float64, len(logits))
+		for j := range grad {
+			g := adv[i] * probs[j]
+			if j == t.Action {
+				g -= adv[i]
+			}
+			logp := math.Log(math.Max(probs[j], 1e-12))
+			g += a.cfg.Entropy * probs[j] * (logp + h)
+			grad[j] = g / n
+		}
+		a.policy.Backward(pCache, grad, a.pGrads)
+
+		// Critic: 0.5*(V - R)^2.
+		v, vCache := a.value.ForwardCache(t.Obs)
+		diff := v[0] - returns[i]
+		stats.ValueLoss += 0.5 * diff * diff / n
+		a.value.Backward(vCache, []float64{a.cfg.ValueCoef * diff / n}, a.vGrads)
+	}
+
+	if a.cfg.ClipNorm > 0 {
+		a.pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+		a.vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+	}
+	stats.GradNorm = a.pGrads.GlobalNorm()
+	a.pOpt.Step(a.policy, a.pGrads)
+	a.vOpt.Step(a.value, a.vGrads)
+	return stats
+}
+
+// TrainIteration samples environments from makeEnv and performs one
+// collect-and-update iteration of totalSteps transitions split over
+// numEnvs environments (Algorithm 1's inner loop). Rollouts are collected
+// on parallel workers, the A3C arrangement Pensieve uses; per-environment
+// seeds are drawn from rng up front and batches merge in index order, so
+// the result is deterministic regardless of scheduling.
+func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv, numEnvs, totalSteps int, rng *rand.Rand) (meanEpReward float64, stats UpdateStats) {
+	if numEnvs <= 0 {
+		numEnvs = 1
+	}
+	perEnv := totalSteps / numEnvs
+	if perEnv < 1 {
+		perEnv = 1
+	}
+	seeds := make([]int64, numEnvs)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	batches := make([]*Batch, numEnvs)
+	par.For(numEnvs, func(i int) {
+		envRng := rand.New(rand.NewSource(seeds[i]))
+		batches[i] = a.Collect(makeEnv(envRng), perEnv, envRng)
+	})
+	merged := &Batch{}
+	for _, b := range batches {
+		merged.Transitions = append(merged.Transitions, b.Transitions...)
+		merged.Episodes += b.Episodes
+		merged.TotalReward += b.TotalReward
+	}
+	stats = a.Update(merged)
+	return merged.MeanEpisodeReward(), stats
+}
+
+// Clone returns an independent copy of the agent (networks and optimizer
+// state reset; cloning is used to snapshot models, which then continue
+// training with fresh optimizer moments, matching checkpoint-restore
+// semantics).
+func (a *DiscreteAgent) Clone() *DiscreteAgent {
+	c := &DiscreteAgent{
+		cfg:    a.cfg,
+		policy: a.policy.Clone(),
+		value:  a.value.Clone(),
+		pOpt:   nn.NewAdam(a.cfg.LR),
+		vOpt:   nn.NewAdam(a.cfg.LR),
+	}
+	c.pGrads = c.policy.NewGrads()
+	c.vGrads = c.value.NewGrads()
+	return c
+}
+
+// Save serializes the agent's networks.
+func (a *DiscreteAgent) Save(w io.Writer) error {
+	if err := a.policy.Save(w); err != nil {
+		return err
+	}
+	return a.value.Save(w)
+}
+
+// LoadDiscreteAgent restores an agent saved with Save; cfg must match the
+// saved architecture.
+func LoadDiscreteAgent(cfg DiscreteConfig, r io.Reader) (*DiscreteAgent, error) {
+	policy, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	value, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if policy.InSize() != cfg.ObsSize || policy.OutSize() != cfg.NumActions {
+		return nil, fmt.Errorf("rl: loaded policy %dx%d does not match config %dx%d",
+			policy.InSize(), policy.OutSize(), cfg.ObsSize, cfg.NumActions)
+	}
+	a := &DiscreteAgent{
+		cfg: cfg, policy: policy, value: value,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR),
+	}
+	a.pGrads = policy.NewGrads()
+	a.vGrads = value.NewGrads()
+	return a, nil
+}

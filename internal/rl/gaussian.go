@@ -1,0 +1,373 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/par"
+)
+
+// GaussianConfig configures a GaussianAgent (PPO over a diagonal Gaussian
+// policy, the Aurora congestion-control setup).
+type GaussianConfig struct {
+	ObsSize   int
+	ActionDim int
+	Hidden    []int
+	LR        float64
+	Gamma     float64
+	Lambda    float64
+	Entropy   float64
+	ClipEps   float64 // PPO clipping epsilon
+	Epochs    int     // PPO epochs per update
+	Minibatch int     // minibatch size (0 = full batch)
+	ClipNorm  float64
+	InitStd   float64 // initial action standard deviation
+	MinStd    float64 // floor on the learned std
+}
+
+// DefaultGaussianConfig returns the PPO hyperparameters used in the CC
+// experiments.
+func DefaultGaussianConfig(obsSize, actionDim int) GaussianConfig {
+	return GaussianConfig{
+		ObsSize:   obsSize,
+		ActionDim: actionDim,
+		Hidden:    []int{32, 16},
+		LR:        3e-3,
+		Gamma:     0.99,
+		Lambda:    0.95,
+		Entropy:   1e-3,
+		ClipEps:   0.2,
+		Epochs:    4,
+		Minibatch: 64,
+		ClipNorm:  5,
+		InitStd:   1.0,
+		MinStd:    0.15,
+	}
+}
+
+// GaussianAgent is a PPO learner with a state-independent diagonal
+// covariance: the policy network outputs the action mean; log standard
+// deviations are free parameters trained alongside it.
+type GaussianAgent struct {
+	cfg    GaussianConfig
+	policy *nn.MLP // obs -> action means
+	value  *nn.MLP // obs -> V(s)
+	logStd []float64
+	pOpt   *nn.Adam
+	vOpt   *nn.Adam
+	sOpt   *adamVec
+}
+
+// NewGaussianAgent builds an agent with freshly initialized networks.
+func NewGaussianAgent(cfg GaussianConfig, rng *rand.Rand) (*GaussianAgent, error) {
+	if cfg.ObsSize <= 0 || cfg.ActionDim <= 0 {
+		return nil, fmt.Errorf("rl: invalid gaussian agent dims obs=%d act=%d", cfg.ObsSize, cfg.ActionDim)
+	}
+	pSizes := append(append([]int{cfg.ObsSize}, cfg.Hidden...), cfg.ActionDim)
+	vSizes := append(append([]int{cfg.ObsSize}, cfg.Hidden...), 1)
+	policy, err := nn.NewMLP(rng, nn.Tanh, pSizes...)
+	if err != nil {
+		return nil, err
+	}
+	value, err := nn.NewMLP(rng, nn.Tanh, vSizes...)
+	if err != nil {
+		return nil, err
+	}
+	logStd := make([]float64, cfg.ActionDim)
+	for i := range logStd {
+		logStd[i] = math.Log(math.Max(cfg.InitStd, 1e-3))
+	}
+	return &GaussianAgent{
+		cfg: cfg, policy: policy, value: value, logStd: logStd,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
+	}, nil
+}
+
+// Config returns the agent's configuration.
+func (a *GaussianAgent) Config() GaussianConfig { return a.cfg }
+
+// Mean returns the deterministic policy output at obs (evaluation mode).
+func (a *GaussianAgent) Mean(obs []float64) []float64 {
+	return a.policy.Forward(obs)
+}
+
+// Value returns the critic's estimate at obs.
+func (a *GaussianAgent) Value(obs []float64) float64 {
+	return a.value.Forward(obs)[0]
+}
+
+// Std returns the current per-dimension action standard deviations.
+func (a *GaussianAgent) Std() []float64 {
+	out := make([]float64, len(a.logStd))
+	for i, ls := range a.logStd {
+		out[i] = math.Max(math.Exp(ls), a.cfg.MinStd)
+	}
+	return out
+}
+
+// Sample draws an action from N(mean(obs), diag(std^2)) and returns its log
+// density.
+func (a *GaussianAgent) Sample(obs []float64, rng *rand.Rand) (action []float64, logProb float64) {
+	mean := a.Mean(obs)
+	std := a.Std()
+	action = make([]float64, len(mean))
+	for i := range mean {
+		action[i] = mean[i] + std[i]*rng.NormFloat64()
+	}
+	return action, a.logProb(mean, std, action)
+}
+
+func (a *GaussianAgent) logProb(mean, std, action []float64) float64 {
+	lp := 0.0
+	for i := range mean {
+		z := (action[i] - mean[i]) / std[i]
+		lp += -0.5*z*z - math.Log(std[i]) - 0.5*math.Log(2*math.Pi)
+	}
+	return lp
+}
+
+// Collect rolls the stochastic policy through env, restarting episodes until
+// maxSteps transitions are gathered (at least one full episode).
+func (a *GaussianAgent) Collect(env ContinuousEnv, maxSteps int, rng *rand.Rand) *Batch {
+	b := &Batch{}
+	for len(b.Transitions) < maxSteps || b.Episodes == 0 {
+		obs := env.Reset(rng)
+		epReward := 0.0
+		for {
+			action, logp := a.Sample(obs, rng)
+			val := a.Value(obs)
+			next, reward, done := env.Step(action)
+			epReward += reward
+			tr := Transition{
+				Obs: append([]float64(nil), obs...), ActionC: action,
+				LogProb: logp, Reward: reward, Value: val, Done: done,
+			}
+			obs = next
+			if !done && len(b.Transitions)+1 >= maxSteps && b.Episodes > 0 {
+				tr.Truncate = true
+				tr.LastVal = a.Value(obs)
+				b.Transitions = append(b.Transitions, tr)
+				return b
+			}
+			b.Transitions = append(b.Transitions, tr)
+			if done {
+				b.Episodes++
+				b.TotalReward += epReward
+				break
+			}
+		}
+	}
+	return b
+}
+
+// Update performs a PPO update: Epochs passes of clipped-surrogate
+// minibatch gradient steps over the batch.
+func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
+	n := len(batch.Transitions)
+	if n == 0 {
+		return UpdateStats{}
+	}
+	adv, returns := GAE(batch, a.cfg.Gamma, a.cfg.Lambda)
+	NormalizeAdvantages(adv)
+
+	mb := a.cfg.Minibatch
+	if mb <= 0 || mb > n {
+		mb = n
+	}
+	var stats UpdateStats
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	pGrads := a.policy.NewGrads()
+	vGrads := a.value.NewGrads()
+	sGrads := make([]float64, a.cfg.ActionDim)
+
+	updates := 0.0
+	for epoch := 0; epoch < max(1, a.cfg.Epochs); epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < n; start += mb {
+			end := min(start+mb, n)
+			pGrads.Zero()
+			vGrads.Zero()
+			clear(sGrads)
+			bn := float64(end - start)
+			for _, i := range idx[start:end] {
+				t := &batch.Transitions[i]
+				mean, pCache := a.policy.ForwardCache(t.Obs)
+				std := a.Std()
+				logp := a.logProb(mean, std, t.ActionC)
+				ratio := math.Exp(logp - t.LogProb)
+				stats.KL += (t.LogProb - logp) / bn
+
+				// Clipped surrogate: L = min(r*A, clip(r)*A); gradient flows
+				// through r only when unclipped (or when clipping is inactive
+				// for this sign of A).
+				clipped := ratio < 1-a.cfg.ClipEps || ratio > 1+a.cfg.ClipEps
+				active := !clipped || (adv[i] > 0 && ratio < 1) || (adv[i] < 0 && ratio > 1)
+				surr := math.Min(ratio*adv[i], clampF(ratio, 1-a.cfg.ClipEps, 1+a.cfg.ClipEps)*adv[i])
+				stats.PolicyLoss += -surr / bn
+
+				if active {
+					// dL/dmean_k = -A * r * (a_k - mean_k)/std_k^2
+					gm := make([]float64, len(mean))
+					for k := range mean {
+						z := (t.ActionC[k] - mean[k]) / (std[k] * std[k])
+						gm[k] = -adv[i] * ratio * z / bn
+						// dlogp/dlogstd = z^2 - 1 (with z=(a-mu)/std);
+						// entropy bonus gradient dH/dlogstd = 1.
+						zz := (t.ActionC[k] - mean[k]) / std[k]
+						sGrads[k] += (-adv[i]*ratio*(zz*zz-1) - a.cfg.Entropy) / bn
+					}
+					a.policy.Backward(pCache, gm, pGrads)
+				}
+
+				v, vCache := a.value.ForwardCache(t.Obs)
+				diff := v[0] - returns[i]
+				stats.ValueLoss += 0.5 * diff * diff / bn
+				a.value.Backward(vCache, []float64{diff / bn}, vGrads)
+			}
+			if a.cfg.ClipNorm > 0 {
+				pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+				vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+			}
+			a.pOpt.Step(a.policy, pGrads)
+			a.vOpt.Step(a.value, vGrads)
+			a.sOpt.step(a.logStd, sGrads)
+			for k := range a.logStd {
+				// Keep the std in a sane band.
+				a.logStd[k] = clampF(a.logStd[k], math.Log(a.cfg.MinStd), math.Log(2.0))
+			}
+			updates++
+		}
+	}
+	if updates > 0 {
+		stats.PolicyLoss /= updates
+		stats.ValueLoss /= updates
+		stats.KL /= updates
+	}
+	std := a.Std()
+	for _, s := range std {
+		stats.Entropy += 0.5*math.Log(2*math.Pi*math.E) + math.Log(s)
+	}
+	return stats
+}
+
+// TrainIteration samples environments from makeEnv and performs one
+// collect-and-update PPO iteration of totalSteps transitions over numEnvs
+// environments. Rollouts run on parallel workers with per-environment
+// seeds drawn up front, merging in index order (deterministic regardless
+// of scheduling).
+func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEnv, numEnvs, totalSteps int, rng *rand.Rand) (meanEpReward float64, stats UpdateStats) {
+	if numEnvs <= 0 {
+		numEnvs = 1
+	}
+	perEnv := totalSteps / numEnvs
+	if perEnv < 1 {
+		perEnv = 1
+	}
+	seeds := make([]int64, numEnvs)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	batches := make([]*Batch, numEnvs)
+	par.For(numEnvs, func(i int) {
+		envRng := rand.New(rand.NewSource(seeds[i]))
+		batches[i] = a.Collect(makeEnv(envRng), perEnv, envRng)
+	})
+	merged := &Batch{}
+	for _, b := range batches {
+		merged.Transitions = append(merged.Transitions, b.Transitions...)
+		merged.Episodes += b.Episodes
+		merged.TotalReward += b.TotalReward
+	}
+	stats = a.Update(merged, rng)
+	return merged.MeanEpisodeReward(), stats
+}
+
+// Clone returns an independent copy of the agent with fresh optimizer state.
+func (a *GaussianAgent) Clone() *GaussianAgent {
+	return &GaussianAgent{
+		cfg:    a.cfg,
+		policy: a.policy.Clone(),
+		value:  a.value.Clone(),
+		logStd: append([]float64(nil), a.logStd...),
+		pOpt:   nn.NewAdam(a.cfg.LR),
+		vOpt:   nn.NewAdam(a.cfg.LR),
+		sOpt:   newAdamVec(a.cfg.LR, a.cfg.ActionDim),
+	}
+}
+
+// Save serializes the agent.
+func (a *GaussianAgent) Save(w io.Writer) error {
+	if err := a.policy.Save(w); err != nil {
+		return err
+	}
+	if err := a.value.Save(w); err != nil {
+		return err
+	}
+	for _, ls := range a.logStd {
+		if _, err := fmt.Fprintf(w, "%v\n", ls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadGaussianAgent restores an agent saved with Save.
+func LoadGaussianAgent(cfg GaussianConfig, r io.Reader) (*GaussianAgent, error) {
+	policy, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	value, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	logStd := make([]float64, cfg.ActionDim)
+	for i := range logStd {
+		if _, err := fmt.Fscan(r, &logStd[i]); err != nil {
+			return nil, fmt.Errorf("rl: load logstd: %w", err)
+		}
+	}
+	return &GaussianAgent{
+		cfg: cfg, policy: policy, value: value, logStd: logStd,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
+	}, nil
+}
+
+// adamVec is Adam over a plain float64 vector (the log-std parameters).
+type adamVec struct {
+	lr, b1, b2, eps float64
+	m, v            []float64
+	t               int
+}
+
+func newAdamVec(lr float64, n int) *adamVec {
+	return &adamVec{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8, m: make([]float64, n), v: make([]float64, n)}
+}
+
+func (a *adamVec) step(params, grad []float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*g
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*g*g
+		params[i] -= a.lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + a.eps)
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,159 @@
+// Package rl implements the policy-gradient reinforcement-learning substrate
+// used by the Genet reproduction: Gym-style environment interfaces, an
+// advantage actor-critic learner with generalized advantage estimation for
+// discrete action spaces (the A3C family used by Pensieve-style ABR and the
+// Park load balancer), and PPO with a clipped surrogate objective for
+// continuous action spaces (the algorithm used by Aurora-style congestion
+// control).
+//
+// Everything is deterministic given the caller-provided random sources.
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DiscreteEnv is a sequential decision environment with a finite action set.
+// Implementations must be deterministic given the rand.Rand passed to Reset.
+type DiscreteEnv interface {
+	// ObsSize returns the observation vector length.
+	ObsSize() int
+	// NumActions returns the number of discrete actions.
+	NumActions() int
+	// Reset starts a new episode and returns the initial observation.
+	// All of the episode's randomness must flow from rng.
+	Reset(rng *rand.Rand) []float64
+	// Step applies an action, returning the next observation, the reward
+	// for the transition, and whether the episode ended.
+	Step(action int) (obs []float64, reward float64, done bool)
+}
+
+// ContinuousEnv is a sequential decision environment with a real-valued
+// action vector.
+type ContinuousEnv interface {
+	// ObsSize returns the observation vector length.
+	ObsSize() int
+	// ActionDim returns the action vector length.
+	ActionDim() int
+	// Reset starts a new episode and returns the initial observation.
+	Reset(rng *rand.Rand) []float64
+	// Step applies an action vector.
+	Step(action []float64) (obs []float64, reward float64, done bool)
+}
+
+// Transition is one (s, a, r) step of a rollout with the bookkeeping the
+// learners need.
+type Transition struct {
+	Obs      []float64
+	Action   int       // discrete action (DiscreteEnv rollouts)
+	ActionC  []float64 // continuous action (ContinuousEnv rollouts)
+	LogProb  float64   // log π(a|s) under the behaviour policy
+	Reward   float64
+	Value    float64 // V(s) estimate at collection time
+	Done     bool    // episode terminated after this step
+	LastVal  float64 // V(s') bootstrap when an episode is truncated mid-flight
+	Truncate bool    // step ended because of the step budget, not termination
+}
+
+// Batch is a set of transitions from one or more episodes, in order.
+type Batch struct {
+	Transitions []Transition
+	Episodes    int
+	TotalReward float64 // summed over all episodes
+}
+
+// MeanEpisodeReward returns TotalReward averaged over episodes (0 when no
+// episodes completed).
+func (b *Batch) MeanEpisodeReward() float64 {
+	if b.Episodes == 0 {
+		return 0
+	}
+	return b.TotalReward / float64(b.Episodes)
+}
+
+// GAE computes generalized advantage estimates and discounted returns for a
+// batch in place order. The batch must contain complete episode segments in
+// order; Done/Truncate mark boundaries.
+func GAE(batch *Batch, gamma, lambda float64) (advantages, returns []float64) {
+	n := len(batch.Transitions)
+	advantages = make([]float64, n)
+	returns = make([]float64, n)
+	var nextAdv, nextValue float64
+	for i := n - 1; i >= 0; i-- {
+		t := &batch.Transitions[i]
+		switch {
+		case t.Done:
+			nextValue = 0
+			nextAdv = 0
+		case t.Truncate:
+			nextValue = t.LastVal
+			nextAdv = 0
+		}
+		delta := t.Reward + gamma*nextValue - t.Value
+		nextAdv = delta + gamma*lambda*nextAdv
+		advantages[i] = nextAdv
+		returns[i] = advantages[i] + t.Value
+		nextValue = t.Value
+	}
+	return advantages, returns
+}
+
+// NormalizeAdvantages standardizes advantages to zero mean, unit variance
+// (a standard variance-reduction step). It is a no-op for tiny batches.
+func NormalizeAdvantages(adv []float64) {
+	if len(adv) < 2 {
+		return
+	}
+	mean := 0.0
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= float64(len(adv))
+	variance := 0.0
+	for _, a := range adv {
+		d := a - mean
+		variance += d * d
+	}
+	variance /= float64(len(adv))
+	std := math.Sqrt(variance)
+	if std < 1e-8 {
+		return
+	}
+	for i := range adv {
+		adv[i] = (adv[i] - mean) / std
+	}
+}
+
+// UpdateStats reports diagnostics from one learner update.
+type UpdateStats struct {
+	PolicyLoss float64
+	ValueLoss  float64
+	Entropy    float64
+	GradNorm   float64
+	KL         float64 // approximate KL(old || new), PPO only
+}
+
+// categoricalSample draws an index from the probability vector probs.
+func categoricalSample(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	cum := 0.0
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// entropy returns the Shannon entropy of a probability vector (nats).
+func entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

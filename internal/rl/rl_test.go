@@ -1,0 +1,124 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGAESingleStepEpisode(t *testing.T) {
+	b := &Batch{Transitions: []Transition{
+		{Reward: 1, Value: 0.5, Done: true},
+	}}
+	adv, ret := GAE(b, 0.9, 0.95)
+	// delta = 1 + 0 - 0.5 = 0.5; adv = 0.5; return = adv + V = 1.
+	if math.Abs(adv[0]-0.5) > 1e-12 || math.Abs(ret[0]-1) > 1e-12 {
+		t.Fatalf("adv=%v ret=%v", adv, ret)
+	}
+}
+
+func TestGAETwoStepHandComputed(t *testing.T) {
+	gamma, lambda := 0.5, 0.5
+	b := &Batch{Transitions: []Transition{
+		{Reward: 1, Value: 1},
+		{Reward: 2, Value: 2, Done: true},
+	}}
+	adv, ret := GAE(b, gamma, lambda)
+	// t=1: delta1 = 2 - 2 = 0; adv1 = 0.
+	// t=0: delta0 = 1 + 0.5*2 - 1 = 1; adv0 = 1 + 0.25*0 = 1.
+	if math.Abs(adv[1]-0) > 1e-12 || math.Abs(adv[0]-1) > 1e-12 {
+		t.Fatalf("adv = %v", adv)
+	}
+	if math.Abs(ret[0]-2) > 1e-12 || math.Abs(ret[1]-2) > 1e-12 {
+		t.Fatalf("ret = %v", ret)
+	}
+}
+
+func TestGAEEpisodeBoundaryStopsBootstrap(t *testing.T) {
+	// Two one-step episodes: the second's reward must not leak into the
+	// first's advantage.
+	b := &Batch{Transitions: []Transition{
+		{Reward: 0, Value: 0, Done: true},
+		{Reward: 100, Value: 0, Done: true},
+	}}
+	adv, _ := GAE(b, 0.99, 0.95)
+	if adv[0] != 0 {
+		t.Fatalf("reward leaked across episode boundary: adv[0] = %v", adv[0])
+	}
+}
+
+func TestGAETruncationBootstraps(t *testing.T) {
+	b := &Batch{Transitions: []Transition{
+		{Reward: 0, Value: 0, Truncate: true, LastVal: 10},
+	}}
+	adv, _ := GAE(b, 0.5, 1)
+	// delta = 0 + 0.5*10 - 0 = 5.
+	if math.Abs(adv[0]-5) > 1e-12 {
+		t.Fatalf("truncated bootstrap adv = %v, want 5", adv[0])
+	}
+}
+
+func TestNormalizeAdvantages(t *testing.T) {
+	adv := []float64{1, 2, 3, 4}
+	NormalizeAdvantages(adv)
+	mean, variance := 0.0, 0.0
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= 4
+	for _, a := range adv {
+		variance += (a - mean) * (a - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+		t.Fatalf("normalized mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestNormalizeAdvantagesDegenerate(t *testing.T) {
+	one := []float64{5}
+	NormalizeAdvantages(one)
+	if one[0] != 5 {
+		t.Fatal("singleton was normalized")
+	}
+	same := []float64{2, 2, 2}
+	NormalizeAdvantages(same)
+	if same[0] != 2 {
+		t.Fatal("zero-variance batch was normalized")
+	}
+}
+
+func TestCategoricalSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probs := []float64{0.2, 0.8}
+	counts := [2]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[categoricalSample(probs, rng)]++
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("sampled action 1 at rate %.3f, want ~0.8", frac)
+	}
+}
+
+func TestEntropyValues(t *testing.T) {
+	if got := entropy([]float64{1, 0}); got != 0 {
+		t.Fatalf("deterministic entropy = %v", got)
+	}
+	want := math.Log(2)
+	if got := entropy([]float64{0.5, 0.5}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want %v", got, want)
+	}
+}
+
+func TestBatchMeanEpisodeReward(t *testing.T) {
+	b := &Batch{Episodes: 2, TotalReward: 10}
+	if b.MeanEpisodeReward() != 5 {
+		t.Fatalf("mean = %v", b.MeanEpisodeReward())
+	}
+	empty := &Batch{}
+	if empty.MeanEpisodeReward() != 0 {
+		t.Fatal("empty batch mean should be 0")
+	}
+}

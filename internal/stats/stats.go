@@ -1,0 +1,332 @@
+// Package stats provides the small statistical toolkit used throughout the
+// Genet reproduction: summary statistics, percentiles, empirical CDFs,
+// Pearson correlation, and bootstrap confidence intervals.
+//
+// All functions are pure and operate on float64 slices. Functions that need
+// sorted input copy the input first; callers never see their arguments
+// mutated.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice or when p
+// is outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It panics when the slices differ in length, and returns 0 when either
+// series has zero variance or fewer than two points.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d != %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// FractionBelow returns the fraction of xs strictly less than threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionWhere returns the fraction of indices i where pred(i) holds over
+// [0, n). It returns 0 when n <= 0.
+func FractionWhere(n int, pred func(i int) bool) float64 {
+	if n <= 0 {
+		return 0
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			c++
+		}
+	}
+	return float64(c) / float64(n)
+}
+
+// CDF returns the empirical CDF of xs evaluated at each of the sorted unique
+// sample points: pairs (x_i, F(x_i)). The result is sorted by x.
+func CDF(xs []float64) (points []float64, cum []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		if i > 0 && x == sorted[i-1] {
+			cum[len(cum)-1] = float64(i+1) / n
+			continue
+		}
+		points = append(points, x)
+		cum = append(cum, float64(i+1)/n)
+	}
+	return points, cum
+}
+
+// Summary bundles the descriptive statistics reported throughout the
+// experiment harness.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. A zero Summary is returned for an
+// empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    Min(xs),
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		P90:    Percentile(xs, 90),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}
+
+// BootstrapCI returns a two-sided (1-alpha) bootstrap confidence interval for
+// the mean of xs using nResamples resamples drawn with rng. It returns
+// (mean, mean) for slices with fewer than two elements.
+func BootstrapCI(xs []float64, nResamples int, alpha float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) < 2 {
+		m := Mean(xs)
+		return m, m
+	}
+	means := make([]float64, nResamples)
+	for r := 0; r < nResamples; r++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	return Percentile(means, 100*alpha/2), Percentile(means, 100*(1-alpha/2))
+}
+
+// Normalize maps xs linearly to [0,1] using its own min/max. When all values
+// are equal the result is all zeros. The input is not modified.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Argmax returns the index of the maximum element; ties resolve to the
+// earliest index. It panics on an empty slice.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: Argmax of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Argmin returns the index of the minimum element; ties resolve to the
+// earliest index. It panics on an empty slice.
+func Argmin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: Argmin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// EWMA returns the exponentially weighted moving average of xs with
+// smoothing factor alpha in (0,1]: higher alpha weights recent samples more.
+func EWMA(xs []float64, alpha float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// HarmonicMean returns the harmonic mean of xs, ignoring non-positive
+// entries; it returns 0 when no positive entries exist. Harmonic-mean
+// bandwidth prediction is the estimator used by MPC-class ABR algorithms.
+func HarmonicMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += 1 / x
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}

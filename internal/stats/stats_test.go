@@ -1,0 +1,367 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, -0.5, 2}); got != 3 {
+		t.Fatalf("Sum = %v, want 3", got)
+	}
+}
+
+func TestVarianceConstant(t *testing.T) {
+	if got := Variance([]float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("Variance of constants = %v, want 0", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Population variance of {1,2,3,4} = 1.25.
+	if got := Variance([]float64{1, 2, 3, 4}); !almostEqual(got, 1.25, 1e-12) {
+		t.Fatalf("Variance = %v, want 1.25", got)
+	}
+}
+
+func TestVarianceSingleton(t *testing.T) {
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("Variance singleton = %v, want 0", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if got := Std([]float64{1, 2, 3, 4}); !almostEqual(got, math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("Std = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(empty) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(empty) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("P100 = %v, want 40", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2.5 {
+		t.Fatalf("P25 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	xs := []float64{30, 10, 20}
+	if got := Median(xs); got != 20 {
+		t.Fatalf("Median = %v, want 20", got)
+	}
+	// The input must not be mutated.
+	if xs[0] != 30 || xs[1] != 10 || xs[2] != 20 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+}
+
+func TestPearsonAntiCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{3, 2, 1}
+	if got := Pearson(xs, ys); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("Pearson with constant series = %v, want 0", got)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pearson length mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestPearsonBounds(t *testing.T) {
+	// Property: |Pearson| <= 1 for random data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Fatalf("FractionBelow = %v, want 0.5", got)
+	}
+	if got := FractionBelow(nil, 1); got != 0 {
+		t.Fatalf("FractionBelow(nil) = %v, want 0", got)
+	}
+}
+
+func TestFractionWhere(t *testing.T) {
+	got := FractionWhere(10, func(i int) bool { return i%2 == 0 })
+	if got != 0.5 {
+		t.Fatalf("FractionWhere = %v, want 0.5", got)
+	}
+	if FractionWhere(0, func(int) bool { return true }) != 0 {
+		t.Fatal("FractionWhere(0) should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	points, cum := CDF([]float64{1, 2, 2, 3})
+	wantPoints := []float64{1, 2, 3}
+	wantCum := []float64{0.25, 0.75, 1}
+	if len(points) != 3 {
+		t.Fatalf("CDF points = %v", points)
+	}
+	for i := range wantPoints {
+		if points[i] != wantPoints[i] || !almostEqual(cum[i], wantCum[i], 1e-12) {
+			t.Fatalf("CDF = (%v, %v), want (%v, %v)", points, cum, wantPoints, wantCum)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	p, c := CDF(nil)
+	if p != nil || c != nil {
+		t.Fatal("CDF(nil) should be nil, nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		points, cum := CDF(xs)
+		for i := 1; i < len(points); i++ {
+			if points[i] <= points[i-1] || cum[i] < cum[i-1] {
+				return false
+			}
+		}
+		return len(cum) == 0 || almostEqual(cum[len(cum)-1], 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("Summarize(nil).N = %d", s.N)
+	}
+}
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 300, 0.05, rng)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Fatalf("CI [%v, %v] does not contain mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCISingleton(t *testing.T) {
+	lo, hi := BootstrapCI([]float64{7}, 10, 0.05, rand.New(rand.NewSource(1)))
+	if lo != 7 || hi != 7 {
+		t.Fatalf("singleton CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	out := Normalize([]float64{4, 4})
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("Normalize constant = %v", out)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestArgmaxArgmin(t *testing.T) {
+	xs := []float64{1, 5, 3, 5}
+	if Argmax(xs) != 1 { // earliest tie wins
+		t.Fatalf("Argmax = %d", Argmax(xs))
+	}
+	if Argmin(xs) != 0 {
+		t.Fatalf("Argmin = %d", Argmin(xs))
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	out := EWMA([]float64{1, 1, 1}, 0.5)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("EWMA of constants = %v", out)
+		}
+	}
+	out = EWMA([]float64{0, 1}, 0.5)
+	if out[1] != 0.5 {
+		t.Fatalf("EWMA step = %v", out)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("HarmonicMean = %v", got)
+	}
+	// HM of {1,2} = 4/3.
+	if got := HarmonicMean([]float64{1, 2}); !almostEqual(got, 4.0/3, 1e-12) {
+		t.Fatalf("HarmonicMean = %v", got)
+	}
+	// Non-positive entries are ignored.
+	if got := HarmonicMean([]float64{0, -1, 2}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("HarmonicMean with zeros = %v", got)
+	}
+	if got := HarmonicMean([]float64{0}); got != 0 {
+		t.Fatalf("HarmonicMean all-zero = %v", got)
+	}
+}
+
+func TestHarmonicLEArithmetic(t *testing.T) {
+	// Property: harmonic mean <= arithmetic mean for positive data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*10
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinMinMax(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

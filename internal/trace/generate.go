@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ABRGenConfig parameterizes the synthetic ABR trace generator described in
+// §A.2: "[the] synthetic trace generator includes 4 parameters: minimum BW
+// (Mbps), maximum BW (Mbps), BW changing interval (s), and trace duration
+// (s). Each timestamp represents one second with a uniform [-0.5, 0.5]
+// noise. Each throughput follows a uniform distribution between [min BW, max
+// BW]. The BW changing interval controls how often throughput changes over
+// time, with uniform [1, 3] noise."
+type ABRGenConfig struct {
+	MinBW          float64 // Mbps
+	MaxBW          float64 // Mbps
+	ChangeInterval float64 // seconds between bandwidth changes
+	Duration       float64 // seconds
+}
+
+// Validate checks the generator configuration for basic sanity.
+func (c ABRGenConfig) Validate() error {
+	if c.MinBW < 0 || c.MaxBW < c.MinBW {
+		return fmt.Errorf("trace: invalid ABR bandwidth range [%f, %f]", c.MinBW, c.MaxBW)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %f", c.Duration)
+	}
+	if c.ChangeInterval < 0 {
+		return fmt.Errorf("trace: negative change interval %f", c.ChangeInterval)
+	}
+	return nil
+}
+
+// GenerateABR produces a synthetic ABR bandwidth trace per §A.2.
+func GenerateABR(cfg ABRGenConfig, rng *rand.Rand) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: fmt.Sprintf("abr-synth-%.1f-%.1fMbps", cfg.MinBW, cfg.MaxBW)}
+	bw := uniform(rng, cfg.MinBW, cfg.MaxBW)
+	nextChange := cfg.ChangeInterval + uniform(rng, 1, 3)
+	ts := 0.0
+	prev := -1.0
+	for ts < cfg.Duration {
+		// One-second steps with uniform [-0.5, 0.5] jitter, kept increasing.
+		jittered := ts + uniform(rng, -0.5, 0.5)
+		if jittered <= prev {
+			jittered = prev + 1e-3
+		}
+		t.Timestamps = append(t.Timestamps, jittered)
+		t.Bandwidth = append(t.Bandwidth, bw)
+		prev = jittered
+		ts++
+		if ts >= nextChange {
+			bw = uniform(rng, cfg.MinBW, cfg.MaxBW)
+			nextChange = ts + cfg.ChangeInterval + uniform(rng, 1, 3)
+		}
+	}
+	return t, nil
+}
+
+// CCGenConfig parameterizes the synthetic CC trace generator of §A.2: "It
+// outputs a series of timestamps with 0.1s step length and dynamic bandwidth
+// series. Each bandwidth value is drawn from a uniform distribution of range
+// [1, max BW] Mbps. The BW changing interval allows bandwidth to change
+// every certain seconds."
+//
+// Only the bandwidth-related inputs live here; latency, queue, loss and
+// delay noise belong to the CC environment configuration (Table 4) and are
+// consumed by the cc package.
+type CCGenConfig struct {
+	MaxBW          float64 // Mbps; bandwidth drawn uniformly from [1, MaxBW]
+	ChangeInterval float64 // seconds
+	Duration       float64 // seconds
+}
+
+// Validate checks the generator configuration for basic sanity.
+func (c CCGenConfig) Validate() error {
+	if c.MaxBW < 1 {
+		return fmt.Errorf("trace: CC max bandwidth %f below the 1 Mbps floor", c.MaxBW)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %f", c.Duration)
+	}
+	if c.ChangeInterval < 0 {
+		return fmt.Errorf("trace: negative change interval %f", c.ChangeInterval)
+	}
+	return nil
+}
+
+// ccStep is the fixed timestamp step of the CC trace generator (§A.2).
+const ccStep = 0.1
+
+// GenerateCC produces a synthetic CC bandwidth trace per §A.2.
+func GenerateCC(cfg CCGenConfig, rng *rand.Rand) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: fmt.Sprintf("cc-synth-%.1fMbps", cfg.MaxBW)}
+	bw := uniform(rng, 1, cfg.MaxBW)
+	nextChange := cfg.ChangeInterval
+	if nextChange <= 0 {
+		nextChange = cfg.Duration // never changes
+	}
+	elapsed := 0.0
+	for ts := 0.0; ts < cfg.Duration; ts += ccStep {
+		t.Timestamps = append(t.Timestamps, ts)
+		t.Bandwidth = append(t.Bandwidth, bw)
+		elapsed += ccStep
+		if cfg.ChangeInterval > 0 && elapsed >= nextChange {
+			bw = uniform(rng, 1, cfg.MaxBW)
+			elapsed = 0
+		}
+	}
+	return t, nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateABRValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := GenerateABR(ABRGenConfig{MinBW: 1, MaxBW: 5, ChangeInterval: 5, Duration: 120}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if tr.Duration() < 100 {
+		t.Fatalf("duration = %v, want >= 100", tr.Duration())
+	}
+}
+
+func TestGenerateABRBandwidthInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := GenerateABR(ABRGenConfig{MinBW: 2, MaxBW: 3, ChangeInterval: 3, Duration: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Bandwidth {
+		if b < 2 || b > 3 {
+			t.Fatalf("bandwidth %v outside [2,3]", b)
+		}
+	}
+}
+
+func TestGenerateABRChangesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, err := GenerateABR(ABRGenConfig{MinBW: 0.5, MaxBW: 10, ChangeInterval: 2, Duration: 300}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	for i := 1; i < len(tr.Bandwidth); i++ {
+		if tr.Bandwidth[i] != tr.Bandwidth[i-1] {
+			changes++
+		}
+	}
+	if changes < 10 {
+		t.Fatalf("only %d bandwidth changes over 300s with 2s interval", changes)
+	}
+}
+
+func TestGenerateABRRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []ABRGenConfig{
+		{MinBW: 5, MaxBW: 2, ChangeInterval: 5, Duration: 100}, // inverted range
+		{MinBW: -1, MaxBW: 2, ChangeInterval: 5, Duration: 100},
+		{MinBW: 1, MaxBW: 2, ChangeInterval: 5, Duration: 0},
+		{MinBW: 1, MaxBW: 2, ChangeInterval: -1, Duration: 100},
+	}
+	for i, c := range cases {
+		if _, err := GenerateABR(c, rng); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestGenerateCCValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, err := GenerateCC(CCGenConfig{MaxBW: 10, ChangeInterval: 3, Duration: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.1s steps over 30s = 300 samples.
+	if len(tr.Timestamps) != 300 {
+		t.Fatalf("samples = %d, want 300", len(tr.Timestamps))
+	}
+}
+
+func TestGenerateCCBandwidthFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := GenerateCC(CCGenConfig{MaxBW: 50, ChangeInterval: 1, Duration: 60}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Bandwidth {
+		if b < 1 || b > 50 {
+			t.Fatalf("CC bandwidth %v outside [1, 50]", b)
+		}
+	}
+}
+
+func TestGenerateCCZeroChangeIntervalIsConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr, err := GenerateCC(CCGenConfig{MaxBW: 10, ChangeInterval: 0, Duration: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Bandwidth[1:] {
+		if b != tr.Bandwidth[0] {
+			t.Fatal("bandwidth changed despite zero change interval")
+		}
+	}
+}
+
+func TestGenerateCCRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateCC(CCGenConfig{MaxBW: 0.5, ChangeInterval: 1, Duration: 10}, rng); err == nil {
+		t.Error("max BW below 1 accepted")
+	}
+	if _, err := GenerateCC(CCGenConfig{MaxBW: 5, ChangeInterval: 1, Duration: -1}, rng); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateABR(ABRGenConfig{MinBW: 1, MaxBW: 5, ChangeInterval: 4, Duration: 60}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateABR(ABRGenConfig{MinBW: 1, MaxBW: 5, ChangeInterval: 4, Duration: 60}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bandwidth) != len(b.Bandwidth) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a.Bandwidth {
+		if a.Bandwidth[i] != b.Bandwidth[i] || a.Timestamps[i] != b.Timestamps[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestGeneratedTracesAlwaysValid(t *testing.T) {
+	f := func(seed int64, minRaw, spanRaw, intRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		minBW := 0.1 + float64(minRaw)/255*10
+		cfg := ABRGenConfig{
+			MinBW:          minBW,
+			MaxBW:          minBW + float64(spanRaw)/255*20,
+			ChangeInterval: float64(intRaw) / 255 * 30,
+			Duration:       30 + float64(intRaw),
+		}
+		tr, err := GenerateABR(cfg, rng)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadMahimahiBasic(t *testing.T) {
+	// 12 Mbps for one second: 1000 packets of 1500B over 1000ms.
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	tr, err := ReadMahimahi(strings.NewReader(b.String()), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 pkts/s * 1500B*8 = 12 Mbps.
+	if got := tr.Bandwidth[0]; math.Abs(got-12) > 0.5 {
+		t.Fatalf("bandwidth = %v, want ~12", got)
+	}
+}
+
+func TestReadMahimahiSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n10\n20\n30\n"
+	tr, err := ReadMahimahi(strings.NewReader(in), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatal("no duration parsed")
+	}
+}
+
+func TestReadMahimahiRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"abc\n",
+		"-5\n",
+		"10\n5\n", // decreasing
+		"",
+	}
+	for _, in := range cases {
+		if _, err := ReadMahimahi(strings.NewReader(in), 0.1); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestMahimahiRoundTripPreservesRate(t *testing.T) {
+	orig := &Trace{
+		Timestamps: []float64{0, 5, 10},
+		Bandwidth:  []float64{6, 12, 3},
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMahimahi(&buf, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean rate over the full span must survive the round trip.
+	if math.Abs(back.Mean()-orig.Mean()) > 1.0 {
+		t.Fatalf("mean rate %v -> %v", orig.Mean(), back.Mean())
+	}
+	// And the first segment's rate should be ~6 Mbps.
+	if got := back.At(2); math.Abs(got-6) > 1.5 {
+		t.Fatalf("first segment rate = %v, want ~6", got)
+	}
+}
+
+func TestWriteMahimahiValidates(t *testing.T) {
+	bad := &Trace{Timestamps: []float64{1, 0}, Bandwidth: []float64{1, 1}}
+	if err := bad.WriteMahimahi(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid trace written")
+	}
+}
+
+func TestWriteMahimahiMonotoneOutput(t *testing.T) {
+	tr := &Trace{Timestamps: []float64{0, 2, 4}, Bandwidth: []float64{3, 9, 1}}
+	var buf bytes.Buffer
+	if err := tr.WriteMahimahi(&buf); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Fields(buf.String()) {
+		var v int64
+		if _, err := fmt.Sscan(line, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("timestamps not monotone: %d after %d", v, last)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SetSpec describes a statistical regime for generating a calibrated
+// stand-in for one of the recorded trace sets in Table 2 of the paper. The
+// recorded traces themselves are not redistributable here, so we synthesize
+// sets that match the published summary statistics (trace counts, mean
+// durations) and the qualitative bandwidth regime of each collection
+// (broadband-like: stable, narrow fluctuation; cellular-like: bursty, deep
+// fades, frequent changes).
+type SetSpec struct {
+	Name string
+
+	// Counts and durations from Table 2.
+	TrainCount   int
+	TestCount    int
+	MeanDuration float64 // seconds per trace
+
+	// Bandwidth regime.
+	BaseBWLow   float64 // Mbps, lower bound of a trace's base bandwidth
+	BaseBWHigh  float64 // Mbps, upper bound of a trace's base bandwidth
+	RelStd      float64 // relative std of fluctuations around the base
+	ChangeEvery float64 // mean seconds between bandwidth changes
+	FadeProb    float64 // probability per change of a deep fade (cellular)
+	FadeDepth   float64 // multiplier applied to base bandwidth during a fade
+}
+
+// Table 2 stand-ins. Durations are per-trace means derived from the table's
+// totals (e.g. FCC testing: 89.9k s over 290 traces ≈ 310 s each).
+var (
+	// SpecFCC models the FCC broadband measurements used for ABR testing:
+	// relatively stable residential broadband throughput.
+	SpecFCC = SetSpec{
+		Name: "FCC", TrainCount: 85, TestCount: 290, MeanDuration: 310,
+		BaseBWLow: 0.8, BaseBWHigh: 5.5, RelStd: 0.18, ChangeEvery: 12,
+		FadeProb: 0.02, FadeDepth: 0.4,
+	}
+	// SpecNorway models the Norway 3G commute traces: cellular links with
+	// large swings and occasional deep fades.
+	SpecNorway = SetSpec{
+		Name: "Norway", TrainCount: 115, TestCount: 310, MeanDuration: 280,
+		BaseBWLow: 0.3, BaseBWHigh: 4.0, RelStd: 0.45, ChangeEvery: 4,
+		FadeProb: 0.12, FadeDepth: 0.15,
+	}
+	// SpecEthernet models Pantheon's wired paths used for CC: high, stable
+	// bandwidth.
+	SpecEthernet = SetSpec{
+		Name: "Ethernet", TrainCount: 64, TestCount: 112, MeanDuration: 30,
+		BaseBWLow: 5, BaseBWHigh: 50, RelStd: 0.08, ChangeEvery: 10,
+		FadeProb: 0.0, FadeDepth: 1,
+	}
+	// SpecCellular models Pantheon's cellular paths used for CC: moderate
+	// bandwidth with violent variation.
+	SpecCellular = SetSpec{
+		Name: "Cellular", TrainCount: 136, TestCount: 121, MeanDuration: 30,
+		BaseBWLow: 0.5, BaseBWHigh: 12, RelStd: 0.5, ChangeEvery: 2,
+		FadeProb: 0.15, FadeDepth: 0.1,
+	}
+)
+
+// Specs returns the four Table 2 stand-in specs keyed by lower-case name.
+func Specs() map[string]SetSpec {
+	return map[string]SetSpec{
+		"fcc":      SpecFCC,
+		"norway":   SpecNorway,
+		"ethernet": SpecEthernet,
+		"cellular": SpecCellular,
+	}
+}
+
+// GenerateSet synthesizes count traces following the spec's regime. Use
+// spec.TrainCount or spec.TestCount to match Table 2, or a smaller count for
+// fast tests.
+func GenerateSet(spec SetSpec, count int, rng *rand.Rand) *Set {
+	s := &Set{Name: spec.Name}
+	for i := 0; i < count; i++ {
+		s.Traces = append(s.Traces, generateRegimeTrace(spec, i, rng))
+	}
+	return s
+}
+
+// GenerateTrainTest synthesizes the train and test halves of a spec at a
+// fraction of Table 2 scale: scale=1 yields the full table counts, scale=0.1
+// a tenth (minimum one trace per side).
+func GenerateTrainTest(spec SetSpec, scale float64, rng *rand.Rand) (train, test *Set) {
+	nTrain := int(math.Max(1, math.Round(scale*float64(spec.TrainCount))))
+	nTest := int(math.Max(1, math.Round(scale*float64(spec.TestCount))))
+	train = GenerateSet(spec, nTrain, rng)
+	train.Name = spec.Name + "-train"
+	test = GenerateSet(spec, nTest, rng)
+	test.Name = spec.Name + "-test"
+	return train, test
+}
+
+// generateRegimeTrace draws one trace: a base bandwidth for the session, an
+// Ornstein-Uhlenbeck-style mean-reverting fluctuation around it, and
+// regime-specific deep fades.
+func generateRegimeTrace(spec SetSpec, idx int, rng *rand.Rand) *Trace {
+	base := uniform(rng, spec.BaseBWLow, spec.BaseBWHigh)
+	// Duration jittered ±30% around the spec mean.
+	dur := spec.MeanDuration * uniform(rng, 0.7, 1.3)
+	t := &Trace{Name: fmt.Sprintf("%s-%03d", spec.Name, idx)}
+
+	bw := base
+	fadeLeft := 0.0
+	next := 0.0
+	step := 1.0
+	if spec.MeanDuration <= 60 {
+		step = 0.5 // short CC traces get finer granularity
+	}
+	for ts := 0.0; ts < dur; ts += step {
+		t.Timestamps = append(t.Timestamps, ts)
+		t.Bandwidth = append(t.Bandwidth, math.Max(0.05, bw))
+		if ts < next {
+			continue
+		}
+		next = ts + math.Max(step, expDraw(rng, spec.ChangeEvery))
+		if fadeLeft > 0 {
+			fadeLeft -= next - ts
+			if fadeLeft <= 0 {
+				bw = base
+			}
+			continue
+		}
+		if rng.Float64() < spec.FadeProb {
+			bw = base * spec.FadeDepth * uniform(rng, 0.5, 1.5)
+			fadeLeft = uniform(rng, 1, 5)
+			continue
+		}
+		// Mean-reverting jump around the base bandwidth.
+		bw = base * (1 + spec.RelStd*rng.NormFloat64())
+		if bw < 0.05*base {
+			bw = 0.05 * base
+		}
+	}
+	return t
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpecsHasFourSets(t *testing.T) {
+	specs := Specs()
+	for _, name := range []string{"fcc", "norway", "ethernet", "cellular"} {
+		if _, ok := specs[name]; !ok {
+			t.Errorf("missing spec %q", name)
+		}
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs, want 4", len(specs))
+	}
+}
+
+func TestGenerateSetCountAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := GenerateSet(SpecFCC, 12, rng)
+	if s.Len() != 12 {
+		t.Fatalf("set size = %d", s.Len())
+	}
+	for i, tr := range s.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateTrainTestMatchesTable2Ratio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, test := GenerateTrainTest(SpecNorway, 1.0, rng)
+	if train.Len() != SpecNorway.TrainCount {
+		t.Fatalf("train size = %d, want %d", train.Len(), SpecNorway.TrainCount)
+	}
+	if test.Len() != SpecNorway.TestCount {
+		t.Fatalf("test size = %d, want %d", test.Len(), SpecNorway.TestCount)
+	}
+}
+
+func TestGenerateTrainTestScaleFloorsAtOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, test := GenerateTrainTest(SpecEthernet, 0.001, rng)
+	if train.Len() < 1 || test.Len() < 1 {
+		t.Fatalf("tiny scale produced empty sets: %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestCellularMoreVariableThanEthernet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cell := GenerateSet(SpecCellular, 30, rng)
+	eth := GenerateSet(SpecEthernet, 30, rng)
+	relVar := func(s *Set) float64 {
+		total := 0.0
+		for _, tr := range s.Traces {
+			f := ExtractFeatures(tr)
+			if f.MeanBW > 0 {
+				total += f.VarBW / (f.MeanBW * f.MeanBW)
+			}
+		}
+		return total / float64(s.Len())
+	}
+	if relVar(cell) <= relVar(eth) {
+		t.Fatalf("cellular relative variance %.3f should exceed ethernet %.3f",
+			relVar(cell), relVar(eth))
+	}
+}
+
+func TestEthernetFasterThanNorway(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	eth := GenerateSet(SpecEthernet, 20, rng)
+	nor := GenerateSet(SpecNorway, 20, rng)
+	meanBW := func(s *Set) float64 {
+		total := 0.0
+		for _, tr := range s.Traces {
+			total += tr.Mean()
+		}
+		return total / float64(s.Len())
+	}
+	if meanBW(eth) <= meanBW(nor) {
+		t.Fatalf("ethernet mean BW %.2f should exceed norway %.2f", meanBW(eth), meanBW(nor))
+	}
+}
+
+func TestSetDurationsNearSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := GenerateSet(SpecFCC, 40, rng)
+	mean := s.TotalDuration() / float64(s.Len())
+	if mean < SpecFCC.MeanDuration*0.6 || mean > SpecFCC.MeanDuration*1.4 {
+		t.Fatalf("mean duration %.1f far from spec %.1f", mean, SpecFCC.MeanDuration)
+	}
+}
+
+func TestGenerateSetDeterministic(t *testing.T) {
+	a := GenerateSet(SpecCellular, 5, rand.New(rand.NewSource(9)))
+	b := GenerateSet(SpecCellular, 5, rand.New(rand.NewSource(9)))
+	for i := range a.Traces {
+		if len(a.Traces[i].Bandwidth) != len(b.Traces[i].Bandwidth) {
+			t.Fatal("same seed, different trace shapes")
+		}
+		for j := range a.Traces[i].Bandwidth {
+			if a.Traces[i].Bandwidth[j] != b.Traces[i].Bandwidth[j] {
+				t.Fatal("same seed, different bandwidth")
+			}
+		}
+	}
+}
+
+func TestBandwidthAlwaysPositive(t *testing.T) {
+	for name, spec := range Specs() {
+		rng := rand.New(rand.NewSource(7))
+		s := GenerateSet(spec, 10, rng)
+		for _, tr := range s.Traces {
+			for _, b := range tr.Bandwidth {
+				if b <= 0 {
+					t.Fatalf("%s produced non-positive bandwidth %v", name, b)
+				}
+			}
+		}
+	}
+}

@@ -150,9 +150,28 @@ func BenchmarkNNForward(b *testing.B) {
 	for i := range x {
 		x[i] = rng.Float64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(x)
+	}
+}
+
+// BenchmarkNNForwardBatch times the batched forward over a rollout-sized
+// [100 x obs] matrix with a warm scratch; steady state is allocation-free.
+func BenchmarkNNForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := nn.MustMLP(rng, nn.Tanh, abr.ObsSize, 64, 32, 6)
+	const batch = 100
+	x := make([]float64, batch*abr.ObsSize)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	s := m.NewScratch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(s, x, batch)
 	}
 }
 
@@ -165,10 +184,35 @@ func BenchmarkNNBackward(b *testing.B) {
 	}
 	grads := m.NewGrads()
 	gradOut := []float64{1, 0, 0, 0, 0, 0}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, cache := m.ForwardCache(x)
 		m.Backward(cache, gradOut, grads)
+	}
+}
+
+// BenchmarkNNBackwardBatch times forward+backward over a rollout-sized batch
+// with warm scratch and grads; steady state is allocation-free.
+func BenchmarkNNBackwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := nn.MustMLP(rng, nn.Tanh, abr.ObsSize, 64, 32, 6)
+	const batch = 100
+	x := make([]float64, batch*abr.ObsSize)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	gradOut := make([]float64, batch*6)
+	for i := range gradOut {
+		gradOut[i] = rng.NormFloat64() / batch
+	}
+	grads := m.NewGrads()
+	s := m.NewScratch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatchCache(s, x, batch)
+		m.BackwardBatch(s, gradOut, grads)
 	}
 }
 
@@ -181,9 +225,33 @@ func BenchmarkRLTrainIterationABR(b *testing.B) {
 	cfg := env.ABRSpace(env.RL1).Default(nil)
 	gen := abr.GenFromConfig(cfg)
 	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.TrainIteration(makeEnv, 2, 100, rng)
+	}
+}
+
+// BenchmarkRLUpdate isolates the sharded minibatch update (GAE + gradients +
+// optimizer step) on a 200-transition ABR batch, recollected outside the
+// timer whenever the previous update invalidates the rollout cache.
+func BenchmarkRLUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, 6), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.ABRSpace(env.RL1).Default(nil)
+	gen := abr.GenFromConfig(cfg)
+	e := abr.NewRLEnv(gen)
+	batch := agent.Collect(e, 200, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(batch)
+		b.StopTimer()
+		batch = agent.Collect(e, 200, rng)
+		b.StartTimer()
 	}
 }
 

@@ -6,6 +6,7 @@
 //	genet-bench -list
 //	genet-bench [-scale smoke|ci|full] [-seed N] [-out FILE] fig9 fig13 ...
 //	genet-bench [-scale ci] all
+//	genet-bench -micro BENCH_1.json
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 		outFlag   = flag.String("out", "", "write results to this file instead of stdout")
 		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		listFlag  = flag.Bool("list", false, "list available experiment ids and exit")
+		microFlag = flag.String("micro", "", "run the RL hot-path micro-benchmarks and write a JSON baseline to this file (e.g. BENCH_1.json), then exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
@@ -39,6 +41,12 @@ func main() {
 	if *listFlag {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *microFlag != "" {
+		if err := runMicro(*microFlag); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/rl"
+)
+
+// microResult is one row of the BENCH_*.json baseline.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// microBaseline captures the machine context alongside the numbers so
+// baselines from different hosts are not compared blindly.
+type microBaseline struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []microResult `json:"results"`
+}
+
+// runMicro runs the RL hot-path micro-benchmarks via testing.Benchmark and
+// writes a JSON baseline to outPath, so the perf trajectory of the training
+// loop is tracked in-repo from PR to PR (BENCH_1.json is this PR's
+// baseline). The suite mirrors the root-package Benchmark* functions of the
+// same names; it is duplicated here because test files are not importable.
+func runMicro(outPath string) error {
+	// Fail on an unwritable destination before spending minutes benchmarking.
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	const (
+		batch   = 100
+		actions = 6
+	)
+
+	newPolicy := func(seed int64) (*nn.MLP, *rand.Rand) {
+		rng := rand.New(rand.NewSource(seed))
+		return nn.MustMLP(rng, nn.Tanh, abr.ObsSize, 64, 32, actions), rng
+	}
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"NNForwardBatch", func(b *testing.B) {
+			m, rng := newPolicy(8)
+			x := make([]float64, batch*abr.ObsSize)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			s := m.NewScratch(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ForwardBatch(s, x, batch)
+			}
+		}},
+		{"NNBackwardBatch", func(b *testing.B) {
+			m, rng := newPolicy(9)
+			x := make([]float64, batch*abr.ObsSize)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			gradOut := make([]float64, batch*actions)
+			for i := range gradOut {
+				gradOut[i] = rng.NormFloat64() / batch
+			}
+			grads := m.NewGrads()
+			s := m.NewScratch(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ForwardBatchCache(s, x, batch)
+				m.BackwardBatch(s, gradOut, grads)
+			}
+		}},
+		{"RLUpdate", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(10))
+			agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, actions), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := abr.GenFromConfig(env.ABRSpace(env.RL1).Default(nil))
+			e := abr.NewRLEnv(gen)
+			bt := agent.Collect(e, 200, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.Update(bt)
+				b.StopTimer()
+				bt = agent.Collect(e, 200, rng)
+				b.StartTimer()
+			}
+		}},
+		{"RLTrainIterationABR", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(10))
+			agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, actions), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := abr.GenFromConfig(env.ABRSpace(env.RL1).Default(nil))
+			makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.TrainIteration(makeEnv, 2, batch, rng)
+			}
+		}},
+	}
+
+	base := microBaseline{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, mb := range suite {
+		fmt.Fprintf(os.Stderr, "micro %s...\n", mb.name)
+		r := testing.Benchmark(mb.fn)
+		base.Results = append(base.Results, microResult{
+			Name:        mb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return out.Close()
+}

@@ -108,6 +108,7 @@ type Sim struct {
 	buffer    float64 // seconds of video buffered
 	lastLevel int
 	started   bool
+	traceCur  int // trace lookup cursor for the download integration loop
 }
 
 // SimConfig bundles the session parameters a configuration controls.
@@ -234,7 +235,8 @@ func (s *Sim) downloadTime(sizeBytes float64) float64 {
 	t := s.clock + s.rttSec
 	const step = 0.05 // seconds of integration granularity
 	for i := 0; remaining > 0; i++ {
-		bw := s.trace.AtWrapped(t) // Mbps
+		var bw float64 // Mbps
+		bw, s.traceCur = s.trace.AtWrappedHint(t, s.traceCur)
 		if bw <= 1e-9 {
 			bw = 1e-9
 		}

@@ -25,7 +25,13 @@ type GP struct {
 	y     []float64
 	yMean float64
 	chol  [][]float64 // lower Cholesky factor of K
-	alpha []float64   // K^{-1} (y - mean)
+	alpha []float64   // K^{-1} (y - mean), precomputed once in Fit
+
+	// Reusable Predict workspaces (ks = k(x, X), v = L^{-1} ks). Predict is
+	// called thousands of times per BO step over a fixed fit, so per-query
+	// temporaries would dominate; GP is accordingly not safe for concurrent
+	// Predict calls (the searchers in this package query sequentially).
+	ksBuf, vBuf []float64
 }
 
 // NewGP returns a GP with reasonable defaults for unit-cube inputs and
@@ -93,15 +99,20 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 	}
 	g.chol = chol
 	g.alpha = cholSolve(chol, g.y)
+	if cap(g.ksBuf) < n {
+		g.ksBuf = make([]float64, n)
+		g.vBuf = make([]float64, n)
+	}
 	return nil
 }
 
-// Predict returns the posterior mean and variance at x.
+// Predict returns the posterior mean and variance at x. It performs no heap
+// allocation; see the workspace note on GP for the concurrency caveat.
 func (g *GP) Predict(x []float64) (mean, variance float64) {
 	if len(g.x) == 0 {
 		return g.yMean, g.SignalVar + g.NoiseVar
 	}
-	ks := make([]float64, len(g.x))
+	ks := g.ksBuf[:len(g.x)]
 	for i, xi := range g.x {
 		ks[i] = g.kernel(x, xi)
 	}
@@ -110,7 +121,8 @@ func (g *GP) Predict(x []float64) (mean, variance float64) {
 		mean += ks[i] * a
 	}
 	// v = L^{-1} k*; var = k(x,x) - vᵀv.
-	v := forwardSolve(g.chol, ks)
+	v := g.vBuf[:len(g.x)]
+	forwardSolveInto(v, g.chol, ks)
 	variance = g.kernel(x, x)
 	for _, vi := range v {
 		variance -= vi * vi
@@ -149,16 +161,21 @@ func cholesky(a [][]float64) ([][]float64, error) {
 
 // forwardSolve solves L·x = b for lower-triangular L.
 func forwardSolve(l [][]float64, b []float64) []float64 {
-	n := len(b)
-	x := make([]float64, n)
-	for i := 0; i < n; i++ {
+	x := make([]float64, len(b))
+	forwardSolveInto(x, l, b)
+	return x
+}
+
+// forwardSolveInto solves L·x = b into a caller-provided x (b and x may not
+// alias).
+func forwardSolveInto(x []float64, l [][]float64, b []float64) {
+	for i := 0; i < len(b); i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
 			sum -= l[i][k] * x[k]
 		}
 		x[i] = sum / l[i][i]
 	}
-	return x
 }
 
 // backSolve solves Lᵀ·x = b for lower-triangular L.

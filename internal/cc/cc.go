@@ -95,6 +95,7 @@ type Sim struct {
 	queueBits float64
 	baseRTT   float64 // propagation RTT, seconds
 	minSeen   float64 // min latency observed so far
+	traceCur  int     // trace lookup cursor for the fluid integration loop
 }
 
 // NewSim builds a connection simulator. rng drives loss and delay noise.
@@ -150,7 +151,9 @@ func (s *Sim) runFor(sendRate, dur float64) MIStats {
 	end := s.clock + dur
 	for s.clock < end {
 		dt := math.Min(simStep, end-s.clock)
-		bw := s.trace.AtWrapped(s.clock) * 1e6 // bits/sec
+		var bw float64
+		bw, s.traceCur = s.trace.AtWrappedHint(s.clock, s.traceCur)
+		bw *= 1e6 // bits/sec
 		arrive := sendRate * 1e6 * dt
 		sentBits += arrive
 

@@ -71,6 +71,7 @@ func (h *ABRHarness) Space() *env.Space { return h.space }
 func (h *ABRHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []float64 {
 	gen := abr.GenFromDistribution(dist, h.TraceSet, h.traceProb())
 	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
+	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)

@@ -67,6 +67,7 @@ func (h *CCHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []f
 	}
 	gen := cc.GenFromDistribution(dist, h.TraceSet, traceProb)
 	makeEnv := func(r *rand.Rand) rl.ContinuousEnv { return cc.NewRLEnv(gen) }
+	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)

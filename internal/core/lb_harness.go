@@ -53,6 +53,7 @@ func (h *LBHarness) Space() *env.Space { return h.space }
 func (h *LBHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []float64 {
 	gen := lb.GenFromDistribution(dist)
 	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return lb.NewRLEnv(gen) }
+	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)

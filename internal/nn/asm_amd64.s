@@ -1,0 +1,153 @@
+// AVX2+FMA kernels for the batched NN hot path. Selected at runtime via
+// cpuHasAVX2FMA (CPUID + XGETBV); the pure-Go scalar kernels in batch.go
+// remain the portable fallback. Accumulation order inside each routine is
+// fixed, so results are bit-identical run to run on the same machine.
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+// True when the CPU supports FMA, AVX2 and the OS saves YMM state.
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	CPUID
+	// ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL	CX, R8
+	ANDL	$0x18001000, R8
+	CMPL	R8, $0x18001000
+	JNE	no
+	// XCR0 bits 1:2 — SSE and YMM state enabled by the OS.
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	no
+	// Leaf 7 EBX bit 5 = AVX2.
+	MOVL	$7, AX
+	XORL	CX, CX
+	CPUID
+	ANDL	$0x20, BX
+	JZ	no
+	MOVB	$1, ret+0(FP)
+	RET
+no:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func dotAsm(a, b []float64) float64
+// Dot product over len(a) elements (caller guarantees len(b) >= len(a)).
+// Four 4-wide FMA accumulators, reduced in a fixed order.
+TEXT ·dotAsm(SB), NOSPLIT, $0-56
+	MOVQ	a_base+0(FP), SI
+	MOVQ	b_base+24(FP), DI
+	MOVQ	a_len+8(FP), CX
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	VXORPD	Y2, Y2, Y2
+	VXORPD	Y3, Y3, Y3
+	MOVQ	CX, DX
+	SHRQ	$4, DX
+	JZ	dot_tail4
+dot_loop16:
+	VMOVUPD	(SI), Y4
+	VMOVUPD	32(SI), Y5
+	VMOVUPD	64(SI), Y6
+	VMOVUPD	96(SI), Y7
+	VFMADD231PD	(DI), Y4, Y0
+	VFMADD231PD	32(DI), Y5, Y1
+	VFMADD231PD	64(DI), Y6, Y2
+	VFMADD231PD	96(DI), Y7, Y3
+	ADDQ	$128, SI
+	ADDQ	$128, DI
+	DECQ	DX
+	JNZ	dot_loop16
+dot_tail4:
+	ANDQ	$15, CX
+	MOVQ	CX, DX
+	SHRQ	$2, DX
+	JZ	dot_tail1
+dot_loop4:
+	VMOVUPD	(SI), Y4
+	VFMADD231PD	(DI), Y4, Y0
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	DECQ	DX
+	JNZ	dot_loop4
+dot_tail1:
+	ANDQ	$3, CX
+	// Reduce the four accumulators: ((Y0+Y1)+(Y2+Y3)), then lanes.
+	VADDPD	Y1, Y0, Y0
+	VADDPD	Y3, Y2, Y2
+	VADDPD	Y2, Y0, Y0
+	VEXTRACTF128	$1, Y0, X1
+	VADDPD	X1, X0, X0
+	VHADDPD	X0, X0, X0
+	JZ	dot_done
+dot_scalar:
+	VMOVSD	(SI), X2
+	VMOVSD	(DI), X3
+	VFMADD231SD	X3, X2, X0
+	ADDQ	$8, SI
+	ADDQ	$8, DI
+	DECQ	CX
+	JNZ	dot_scalar
+dot_done:
+	VMOVSD	X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(dst, x []float64, alpha float64)
+// dst[i] += alpha * x[i] over len(dst) elements (caller guarantees
+// len(x) >= len(dst)).
+TEXT ·axpyAsm(SB), NOSPLIT, $0-56
+	MOVQ	dst_base+0(FP), DI
+	MOVQ	x_base+24(FP), SI
+	MOVQ	dst_len+8(FP), CX
+	VBROADCASTSD	alpha+48(FP), Y8
+	MOVQ	CX, DX
+	SHRQ	$4, DX
+	JZ	axpy_tail4
+axpy_loop16:
+	VMOVUPD	(DI), Y0
+	VMOVUPD	32(DI), Y1
+	VMOVUPD	64(DI), Y2
+	VMOVUPD	96(DI), Y3
+	VFMADD231PD	(SI), Y8, Y0
+	VFMADD231PD	32(SI), Y8, Y1
+	VFMADD231PD	64(SI), Y8, Y2
+	VFMADD231PD	96(SI), Y8, Y3
+	VMOVUPD	Y0, (DI)
+	VMOVUPD	Y1, 32(DI)
+	VMOVUPD	Y2, 64(DI)
+	VMOVUPD	Y3, 96(DI)
+	ADDQ	$128, SI
+	ADDQ	$128, DI
+	DECQ	DX
+	JNZ	axpy_loop16
+axpy_tail4:
+	ANDQ	$15, CX
+	MOVQ	CX, DX
+	SHRQ	$2, DX
+	JZ	axpy_tail1
+axpy_loop4:
+	VMOVUPD	(DI), Y0
+	VFMADD231PD	(SI), Y8, Y0
+	VMOVUPD	Y0, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	DECQ	DX
+	JNZ	axpy_loop4
+axpy_tail1:
+	ANDQ	$3, CX
+	JZ	axpy_done
+axpy_scalar:
+	VMOVSD	(DI), X0
+	VMOVSD	(SI), X1
+	VFMADD231SD	X1, X8, X0
+	VMOVSD	X0, (DI)
+	ADDQ	$8, SI
+	ADDQ	$8, DI
+	DECQ	CX
+	JNZ	axpy_scalar
+axpy_done:
+	VZEROUPPER
+	RET

@@ -172,11 +172,7 @@ func (m *MLP) forward(x []float64, keep bool) ([]float64, *Cache) {
 		in, out := m.sizes[l], m.sizes[l+1]
 		next := make([]float64, out)
 		for o := 0; o < out; o++ {
-			sum := m.biases[l][o]
-			row := w[o*in : (o+1)*in]
-			for i, v := range cur {
-				sum += row[i] * v
-			}
+			sum := m.biases[l][o] + dot(w[o*in:(o+1)*in], cur)
 			if l != last {
 				sum = m.hidden.apply(sum)
 			}
@@ -380,9 +376,21 @@ func Load(r io.Reader) (*MLP, error) {
 // Softmax returns the softmax of logits, computed stably.
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
-	if len(logits) == 0 {
-		return out
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes the softmax of logits into dst (allocation-free; the
+// two may not alias partially, but dst == logits is fine). len(dst) must
+// equal len(logits).
+func SoftmaxInto(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("nn: softmax dst len %d, want %d", len(dst), len(logits)))
 	}
+	if len(logits) == 0 {
+		return
+	}
+	out := dst
 	max := logits[0]
 	for _, v := range logits[1:] {
 		if v > max {
@@ -398,7 +406,6 @@ func Softmax(logits []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // LogSumExp returns log(sum(exp(xs))) computed stably.

@@ -5,6 +5,16 @@
 // from their sequential source *before* the loop, index results by i, and
 // reduce in index order afterwards. Under that discipline results are
 // bit-identical to the sequential loop regardless of scheduling.
+//
+// Reduction-order contract: when iterations accumulate floating point (the
+// rl update shards), the work must be partitioned into fixed-size chunks
+// whose boundaries do not depend on the worker count, each iteration must
+// write only to its own chunk's accumulator in a fixed intra-chunk order,
+// and the caller must fold the chunk accumulators together sequentially in
+// increasing index order after ForN returns. Float addition is not
+// associative, so any partition or fold order that varies with workers (or
+// with scheduling) silently breaks the repo-wide "same seed, same floats"
+// guarantee. See internal/rl's updateShardSize for the canonical use.
 package par
 
 import (

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -70,6 +71,49 @@ func TestDeterministicReduction(t *testing.T) {
 	for i := range seq {
 		if seq[i] != parl[i] {
 			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestForNExactlyOnePanicPropagates(t *testing.T) {
+	// Every iteration panics with its own index; the recovered value must be
+	// exactly one of them, not a corrupted or composite value, and ForN must
+	// still return (all workers drained).
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		i, ok := r.(int)
+		if !ok || i < 0 || i >= 64 {
+			t.Fatalf("recovered %v (%T), want one iteration index in [0,64)", r, r)
+		}
+	}()
+	ForN(64, 8, func(i int) { panic(i) })
+}
+
+func TestForNSequentialRunsOnCallerGoroutine(t *testing.T) {
+	// workers <= 1 must degrade to a plain loop: same goroutine as the
+	// caller, strictly increasing order, no concurrency machinery. Stack
+	// buffers identify the goroutine without runtime tricks.
+	gid := func() string {
+		buf := make([]byte, 64)
+		return string(buf[:runtime.Stack(buf, false)])
+	}
+	caller := gid()[:20] // "goroutine N [" prefix
+	for _, workers := range []int{1, 0, -2} {
+		prev := -1
+		ForN(5, workers, func(i int) {
+			if g := gid()[:20]; g != caller {
+				t.Fatalf("workers=%d: iteration ran on %q, caller is %q", workers, g, caller)
+			}
+			if i != prev+1 {
+				t.Fatalf("workers=%d: order violated at %d after %d", workers, i, prev)
+			}
+			prev = i
+		})
+		if prev != 4 {
+			t.Fatalf("workers=%d: only reached %d", workers, prev)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
@@ -50,6 +51,98 @@ type DiscreteAgent struct {
 	vOpt   *nn.Adam
 	pGrads *nn.Grads
 	vGrads *nn.Grads
+
+	// UpdateWorkers caps the goroutines used for the sharded gradient pass
+	// in Update (0 means GOMAXPROCS). The result is bit-identical for every
+	// value: the shard partition is fixed (see updateShardSize) and shards
+	// reduce in index order, so workers only changes who computes what.
+	UpdateWorkers int
+
+	obsBuf []float64        // [n x ObsSize] packed batch observations
+	shards []*discreteShard // reusable per-shard gradient state
+
+	// paramsVersion counts optimizer steps; rollout activation caches record
+	// it and Update only trusts a cache stamped with the current version.
+	paramsVersion uint64
+	// trainPCache/trainVCache are the reusable merged rollout caches for
+	// TrainIteration's collect-then-update path.
+	trainPCache, trainVCache *nn.BatchCache
+	// collectPool holds one reusable rollout workspace per TrainIteration
+	// env slot, making the steady-state iteration allocation-free. Batches
+	// produced from a pooled state are valid until the same slot collects
+	// again; TrainIteration consumes them within the iteration.
+	collectPool []*discreteCollectState
+}
+
+// discreteCollectState is the reusable workspace of one rollout: forward
+// scratches, activation caches, the obs arena, and the transitions backing
+// array.
+type discreteCollectState struct {
+	ps, vs         *nn.Scratch
+	pCache, vCache *nn.BatchCache
+	probs          []float64
+	ar             floatArena
+	trs            []Transition
+}
+
+func (a *DiscreteAgent) newCollectState(maxSteps int) *discreteCollectState {
+	return &discreteCollectState{
+		ps:     a.policy.NewScratch(1),
+		pCache: a.policy.NewBatchCache(maxSteps + 1),
+		vCache: a.value.NewBatchCache(maxSteps + 1),
+		probs:  make([]float64, a.cfg.NumActions),
+		trs:    make([]Transition, 0, maxSteps+1),
+	}
+}
+
+func (a *DiscreteAgent) ensureCollectPool(k, maxSteps int) {
+	for len(a.collectPool) < k {
+		a.collectPool = append(a.collectPool, a.newCollectState(maxSteps))
+	}
+}
+
+// discreteShard is the private workspace of one gradient shard: its own
+// gradient accumulators and forward/backward scratch, so shards never
+// contend. Reused across Update calls.
+type discreteShard struct {
+	pGrads, vGrads *nn.Grads
+	ps, vs         *nn.Scratch
+	gradBuf        []float64 // [shard x NumActions] dLoss/dlogits
+	vGradBuf       []float64 // [shard x 1] dLoss/dV
+	probs          []float64 // softmax workspace, one row
+	stats          UpdateStats
+}
+
+func (a *DiscreteAgent) ensureShards(k int) {
+	for len(a.shards) < k {
+		a.shards = append(a.shards, &discreteShard{
+			pGrads:   a.policy.NewGrads(),
+			vGrads:   a.value.NewGrads(),
+			ps:       a.policy.NewScratch(updateShardSize),
+			vs:       a.value.NewScratch(updateShardSize),
+			gradBuf:  make([]float64, updateShardSize*a.cfg.NumActions),
+			vGradBuf: make([]float64, updateShardSize),
+			probs:    make([]float64, a.cfg.NumActions),
+		})
+	}
+}
+
+func (a *DiscreteAgent) updateWorkers() int {
+	if a.UpdateWorkers > 0 {
+		return a.UpdateWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Reserve pre-sizes the batch buffers and shard pool for updates over up to
+// steps transitions, so the first training iterations run allocation-free.
+// Growth remains automatic; Reserve is an optional warm-up and is idempotent.
+func (a *DiscreteAgent) Reserve(steps int) {
+	if steps <= 0 {
+		return
+	}
+	a.obsBuf = growFloats(a.obsBuf, steps*a.cfg.ObsSize)
+	a.ensureShards(numShards(steps))
 }
 
 // NewDiscreteAgent builds an agent with freshly initialized networks drawn
@@ -115,26 +208,50 @@ func argmaxF(xs []float64) int {
 // Collect rolls the stochastic policy through env for up to maxSteps steps,
 // restarting episodes as they finish, and returns the batch. At least one
 // full episode is always collected, even if it exceeds maxSteps.
+//
+// Collect owns one forward scratch per network and an observation arena for
+// the whole rollout, so the per-step cost is allocation-free; it is safe to
+// run concurrently with other Collect calls on the same agent (the networks
+// are only read).
 func (a *DiscreteAgent) Collect(env DiscreteEnv, maxSteps int, rng *rand.Rand) *Batch {
-	b := &Batch{}
+	return a.collectWith(a.newCollectState(maxSteps), env, maxSteps, rng)
+}
+
+// collectWith is Collect over a caller-owned workspace. Batches returned
+// from a pooled workspace alias its buffers and stay valid only until the
+// workspace's next rollout (the TrainIteration pattern: collect, update,
+// discard).
+func (a *DiscreteAgent) collectWith(st *discreteCollectState, env DiscreteEnv, maxSteps int, rng *rand.Rand) *Batch {
+	st.pCache.Reset()
+	st.vCache.Reset()
+	st.ar.reset()
+	b := &Batch{Transitions: st.trs[:0]}
+	defer func() { st.trs = b.Transitions[:0] }()
+	probs := st.probs
 	for len(b.Transitions) < maxSteps || b.Episodes == 0 {
 		obs := env.Reset(rng)
 		epReward := 0.0
 		for {
-			action, logp := a.Sample(obs, rng)
-			val := a.Value(obs)
+			nn.SoftmaxInto(probs, a.policy.ForwardBatch(st.ps, obs, 1))
+			st.pCache.AppendScratch(st.ps)
+			action := categoricalSample(probs, rng)
+			logp := math.Log(math.Max(probs[action], 1e-12))
 			next, reward, done := env.Step(action)
 			epReward += reward
 			tr := Transition{
-				Obs: append([]float64(nil), obs...), Action: action,
-				LogProb: logp, Reward: reward, Value: val, Done: done,
+				Obs: st.ar.clone(obs), Action: action,
+				LogProb: logp, Reward: reward, Done: done,
 			}
 			obs = next
 			if !done && len(b.Transitions)+1 >= maxSteps && b.Episodes > 0 {
 				// Truncate: bootstrap from V(s').
 				tr.Truncate = true
-				tr.LastVal = a.Value(obs)
+				if st.vs == nil {
+					st.vs = a.value.NewScratch(1)
+				}
+				tr.LastVal = a.value.ForwardBatch(st.vs, obs, 1)[0]
 				b.Transitions = append(b.Transitions, tr)
+				a.finishCollect(b, st)
 				return b
 			}
 			b.Transitions = append(b.Transitions, tr)
@@ -145,50 +262,71 @@ func (a *DiscreteAgent) Collect(env DiscreteEnv, maxSteps int, rng *rand.Rand) *
 			}
 		}
 	}
+	a.finishCollect(b, st)
 	return b
+}
+
+// finishCollect fills Transition.Value with one batched critic pass over the
+// whole rollout — the per-step value estimates are consumed only by GAE at
+// update time, so deferring them converts n latency-bound single-row
+// forwards into one throughput-bound batched forward — and attaches the
+// recorded policy/value activation caches to the batch for reuse by Update.
+func (a *DiscreteAgent) finishCollect(b *Batch, st *discreteCollectState) {
+	n := len(b.Transitions)
+	vals := a.value.ForwardBatchAppend(st.vCache, st.pCache.Inputs(), n)
+	for i := range b.Transitions {
+		b.Transitions[i].Value = vals[i]
+	}
+	b.pCache, b.vCache = st.pCache, st.vCache
+	b.cacheOwner = a
+	b.cacheVersion = a.paramsVersion
 }
 
 // Update performs one actor-critic gradient step on the batch: policy
 // gradient with GAE advantages and entropy bonus, plus an MSE critic update.
+//
+// The pass is batched and sharded: observations are packed into a row-major
+// [n x ObsSize] matrix, fixed-size shards of transitions run the batched
+// forward/backward kernels on parallel workers (each with private gradient
+// accumulators and scratch), and shard gradients reduce in index order. The
+// result is deterministic and independent of the worker count.
 func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
-	if len(batch.Transitions) == 0 {
+	n := len(batch.Transitions)
+	if n == 0 {
 		return UpdateStats{}
 	}
 	adv, returns := GAE(batch, a.cfg.Gamma, a.cfg.Lambda)
 	NormalizeAdvantages(adv)
 
+	// On-policy fast path: reuse the activations recorded during Collect
+	// (valid because no optimizer step ran since) and skip every forward.
+	cached := batch.cacheOwner == a && batch.cacheVersion == a.paramsVersion &&
+		batch.pCache != nil && batch.pCache.Rows() == n &&
+		batch.vCache != nil && batch.vCache.Rows() == n
+	if !cached {
+		d := a.cfg.ObsSize
+		a.obsBuf = growFloats(a.obsBuf, n*d)
+		for i := range batch.Transitions {
+			copy(a.obsBuf[i*d:(i+1)*d], batch.Transitions[i].Obs)
+		}
+	}
+
 	a.pGrads.Zero()
 	a.vGrads.Zero()
+	shards := numShards(n)
+	a.ensureShards(shards)
+	par.ForN(shards, a.updateWorkers(), func(si int) {
+		start, end := shardBounds(si, n)
+		a.shards[si].run(a, batch, adv, returns, start, end, float64(n), cached)
+	})
+
 	var stats UpdateStats
-	n := float64(len(batch.Transitions))
-
-	for i, t := range batch.Transitions {
-		// Policy gradient. Loss_i = -adv*logπ(a|s) - entropyCoef*H(π(.|s)).
-		logits, pCache := a.policy.ForwardCache(t.Obs)
-		probs := nn.Softmax(logits)
-		h := entropy(probs)
-		stats.Entropy += h / n
-		stats.PolicyLoss += -adv[i] * math.Log(math.Max(probs[t.Action], 1e-12)) / n
-
-		// d(-adv*logπ)/dlogits = adv*(probs - onehot)
-		// dH/dlogits = -probs*(logp + H)   =>  d(-cH)/dlogits = probs*(logp+H)*c
-		grad := make([]float64, len(logits))
-		for j := range grad {
-			g := adv[i] * probs[j]
-			if j == t.Action {
-				g -= adv[i]
-			}
-			logp := math.Log(math.Max(probs[j], 1e-12))
-			g += a.cfg.Entropy * probs[j] * (logp + h)
-			grad[j] = g / n
-		}
-		a.policy.Backward(pCache, grad, a.pGrads)
-
-		// Critic: 0.5*(V - R)^2.
-		v, vCache := a.value.ForwardCache(t.Obs)
-		diff := v[0] - returns[i]
-		stats.ValueLoss += 0.5 * diff * diff / n
-		a.value.Backward(vCache, []float64{a.cfg.ValueCoef * diff / n}, a.vGrads)
+	for _, sh := range a.shards[:shards] {
+		a.pGrads.Add(sh.pGrads, 1)
+		a.vGrads.Add(sh.vGrads, 1)
+		stats.PolicyLoss += sh.stats.PolicyLoss
+		stats.ValueLoss += sh.stats.ValueLoss
+		stats.Entropy += sh.stats.Entropy
 	}
 
 	if a.cfg.ClipNorm > 0 {
@@ -198,7 +336,71 @@ func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
 	stats.GradNorm = a.pGrads.GlobalNorm()
 	a.pOpt.Step(a.policy, a.pGrads)
 	a.vOpt.Step(a.value, a.vGrads)
+	a.paramsVersion++
 	return stats
+}
+
+// run computes shard si's gradient contribution for transitions [start,end).
+func (sh *discreteShard) run(a *DiscreteAgent, batch *Batch, adv, returns []float64, start, end int, n float64, cached bool) {
+	sh.pGrads.Zero()
+	sh.vGrads.Zero()
+	sh.stats = UpdateStats{}
+	d := a.cfg.ObsSize
+	na := a.cfg.NumActions
+	b := end - start
+
+	// Policy: Loss_i = -adv*logπ(a|s) - entropyCoef*H(π(.|s)).
+	var logits []float64
+	if cached {
+		logits = batch.pCache.Output()[start*na : end*na]
+	} else {
+		logits = a.policy.ForwardBatchCache(sh.ps, a.obsBuf[start*d:end*d], b)
+	}
+	for r := 0; r < b; r++ {
+		i := start + r
+		t := &batch.Transitions[i]
+		nn.SoftmaxInto(sh.probs, logits[r*na:(r+1)*na])
+		h := entropy(sh.probs)
+		sh.stats.Entropy += h / n
+		sh.stats.PolicyLoss += -adv[i] * math.Log(math.Max(sh.probs[t.Action], 1e-12)) / n
+
+		// d(-adv*logπ)/dlogits = adv*(probs - onehot)
+		// dH/dlogits = -probs*(logp + H)   =>  d(-cH)/dlogits = probs*(logp+H)*c
+		grad := sh.gradBuf[r*na : (r+1)*na]
+		for j := range grad {
+			g := adv[i] * sh.probs[j]
+			if j == t.Action {
+				g -= adv[i]
+			}
+			logp := math.Log(math.Max(sh.probs[j], 1e-12))
+			g += a.cfg.Entropy * sh.probs[j] * (logp + h)
+			grad[j] = g / n
+		}
+	}
+	if cached {
+		a.policy.BackwardBatchRows(batch.pCache, start, end, sh.gradBuf[:b*na], sh.ps, sh.pGrads)
+	} else {
+		a.policy.BackwardBatch(sh.ps, sh.gradBuf[:b*na], sh.pGrads)
+	}
+
+	// Critic: 0.5*(V - R)^2.
+	var v []float64
+	if cached {
+		v = batch.vCache.Output()[start:end]
+	} else {
+		v = a.value.ForwardBatchCache(sh.vs, a.obsBuf[start*d:end*d], b)
+	}
+	for r := 0; r < b; r++ {
+		i := start + r
+		diff := v[r] - returns[i]
+		sh.stats.ValueLoss += 0.5 * diff * diff / n
+		sh.vGradBuf[r] = a.cfg.ValueCoef * diff / n
+	}
+	if cached {
+		a.value.BackwardBatchRows(batch.vCache, start, end, sh.vGradBuf[:b], sh.vs, sh.vGrads)
+	} else {
+		a.value.BackwardBatch(sh.vs, sh.vGradBuf[:b], sh.vGrads)
+	}
 }
 
 // TrainIteration samples environments from makeEnv and performs one
@@ -219,10 +421,11 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
+	a.ensureCollectPool(numEnvs, perEnv)
 	batches := make([]*Batch, numEnvs)
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
-		batches[i] = a.Collect(makeEnv(envRng), perEnv, envRng)
+		batches[i] = a.collectWith(a.collectPool[i], makeEnv(envRng), perEnv, envRng)
 	})
 	merged := &Batch{}
 	for _, b := range batches {
@@ -230,8 +433,37 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 		merged.Episodes += b.Episodes
 		merged.TotalReward += b.TotalReward
 	}
+	a.mergeCaches(merged, batches)
 	stats = a.Update(merged)
 	return merged.MeanEpisodeReward(), stats
+}
+
+// mergeCaches concatenates the per-env rollout activation caches — in env
+// index order, preserving determinism — into the agent-owned merged caches
+// so Update's cached path covers the merged batch. If any env batch lacks a
+// current cache the merged batch simply carries none and Update recomputes.
+func (a *DiscreteAgent) mergeCaches(merged *Batch, batches []*Batch) {
+	total := 0
+	for _, b := range batches {
+		if b.cacheOwner != a || b.cacheVersion != a.paramsVersion ||
+			b.pCache == nil || b.vCache == nil || b.pCache.Rows() != len(b.Transitions) {
+			return
+		}
+		total += len(b.Transitions)
+	}
+	if a.trainPCache == nil {
+		a.trainPCache = a.policy.NewBatchCache(total)
+		a.trainVCache = a.value.NewBatchCache(total)
+	}
+	a.trainPCache.Reset()
+	a.trainVCache.Reset()
+	for _, b := range batches {
+		a.trainPCache.AppendCache(b.pCache)
+		a.trainVCache.AppendCache(b.vCache)
+	}
+	merged.pCache, merged.vCache = a.trainPCache, a.trainVCache
+	merged.cacheOwner = a
+	merged.cacheVersion = a.paramsVersion
 }
 
 // Clone returns an independent copy of the agent (networks and optimizer

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
@@ -59,6 +60,63 @@ type GaussianAgent struct {
 	pOpt   *nn.Adam
 	vOpt   *nn.Adam
 	sOpt   *adamVec
+
+	// UpdateWorkers caps the goroutines for the sharded minibatch gradient
+	// pass (0 means GOMAXPROCS). Results are bit-identical for every value;
+	// see DiscreteAgent.UpdateWorkers.
+	UpdateWorkers int
+
+	pGrads *nn.Grads
+	vGrads *nn.Grads
+	sGrads []float64
+	obsBuf []float64 // [mb x ObsSize] gathered minibatch observations
+	stdBuf []float64
+	shards []*gaussianShard // reusable per-shard gradient state
+}
+
+// gaussianShard is the private workspace of one PPO gradient shard.
+type gaussianShard struct {
+	pGrads, vGrads *nn.Grads
+	sGrads         []float64
+	ps, vs         *nn.Scratch
+	gmBuf          []float64 // [shard x ActionDim] dLoss/dmean
+	vGradBuf       []float64 // [shard x 1] dLoss/dV
+	stats          UpdateStats
+}
+
+func (a *GaussianAgent) ensureShards(k int) {
+	for len(a.shards) < k {
+		a.shards = append(a.shards, &gaussianShard{
+			pGrads:   a.policy.NewGrads(),
+			vGrads:   a.value.NewGrads(),
+			sGrads:   make([]float64, a.cfg.ActionDim),
+			ps:       a.policy.NewScratch(updateShardSize),
+			vs:       a.value.NewScratch(updateShardSize),
+			gmBuf:    make([]float64, updateShardSize*a.cfg.ActionDim),
+			vGradBuf: make([]float64, updateShardSize),
+		})
+	}
+}
+
+func (a *GaussianAgent) updateWorkers() int {
+	if a.UpdateWorkers > 0 {
+		return a.UpdateWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Reserve pre-sizes the minibatch buffers and shard pool for updates over
+// batches of up to steps transitions (idempotent; growth stays automatic).
+func (a *GaussianAgent) Reserve(steps int) {
+	if steps <= 0 {
+		return
+	}
+	mb := a.cfg.Minibatch
+	if mb <= 0 || mb > steps {
+		mb = steps
+	}
+	a.obsBuf = growFloats(a.obsBuf, mb*a.cfg.ObsSize)
+	a.ensureShards(numShards(mb))
 }
 
 // NewGaussianAgent builds an agent with freshly initialized networks.
@@ -80,10 +138,19 @@ func NewGaussianAgent(cfg GaussianConfig, rng *rand.Rand) (*GaussianAgent, error
 	for i := range logStd {
 		logStd[i] = math.Log(math.Max(cfg.InitStd, 1e-3))
 	}
-	return &GaussianAgent{
+	a := &GaussianAgent{
 		cfg: cfg, policy: policy, value: value, logStd: logStd,
 		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
-	}, nil
+	}
+	a.initGradState()
+	return a, nil
+}
+
+func (a *GaussianAgent) initGradState() {
+	a.pGrads = a.policy.NewGrads()
+	a.vGrads = a.value.NewGrads()
+	a.sGrads = make([]float64, a.cfg.ActionDim)
+	a.stdBuf = make([]float64, a.cfg.ActionDim)
 }
 
 // Config returns the agent's configuration.
@@ -101,11 +168,15 @@ func (a *GaussianAgent) Value(obs []float64) float64 {
 
 // Std returns the current per-dimension action standard deviations.
 func (a *GaussianAgent) Std() []float64 {
-	out := make([]float64, len(a.logStd))
+	return a.stdInto(make([]float64, len(a.logStd)))
+}
+
+// stdInto writes the per-dimension standard deviations into dst.
+func (a *GaussianAgent) stdInto(dst []float64) []float64 {
 	for i, ls := range a.logStd {
-		out[i] = math.Max(math.Exp(ls), a.cfg.MinStd)
+		dst[i] = math.Max(math.Exp(ls), a.cfg.MinStd)
 	}
-	return out
+	return dst
 }
 
 // Sample draws an action from N(mean(obs), diag(std^2)) and returns its log
@@ -131,25 +202,45 @@ func (a *GaussianAgent) logProb(mean, std, action []float64) float64 {
 
 // Collect rolls the stochastic policy through env, restarting episodes until
 // maxSteps transitions are gathered (at least one full episode).
+//
+// Like DiscreteAgent.Collect, the per-step path is allocation-free: forward
+// scratches and an obs/action arena are owned by the call, and concurrent
+// Collect calls on one agent are safe (the networks are only read).
 func (a *GaussianAgent) Collect(env ContinuousEnv, maxSteps int, rng *rand.Rand) *Batch {
-	b := &Batch{}
+	ps := a.policy.NewScratch(1)
+	var vs *nn.Scratch // lazily built; only the truncation bootstrap needs it
+	std := make([]float64, a.cfg.ActionDim)
+	var ar floatArena
+	d := a.cfg.ObsSize
+	obsMat := make([]float64, 0, (maxSteps+1)*d) // packed rows for the value pass
+	b := &Batch{Transitions: make([]Transition, 0, maxSteps+1)}
 	for len(b.Transitions) < maxSteps || b.Episodes == 0 {
 		obs := env.Reset(rng)
 		epReward := 0.0
 		for {
-			action, logp := a.Sample(obs, rng)
-			val := a.Value(obs)
+			mean := a.policy.ForwardBatch(ps, obs, 1)
+			a.stdInto(std)
+			action := ar.clone(mean)
+			for i := range action {
+				action[i] = mean[i] + std[i]*rng.NormFloat64()
+			}
+			logp := a.logProb(mean, std, action)
 			next, reward, done := env.Step(action)
 			epReward += reward
+			obsMat = append(obsMat, obs...)
 			tr := Transition{
-				Obs: append([]float64(nil), obs...), ActionC: action,
-				LogProb: logp, Reward: reward, Value: val, Done: done,
+				Obs: ar.clone(obs), ActionC: action,
+				LogProb: logp, Reward: reward, Done: done,
 			}
 			obs = next
 			if !done && len(b.Transitions)+1 >= maxSteps && b.Episodes > 0 {
 				tr.Truncate = true
-				tr.LastVal = a.Value(obs)
+				if vs == nil {
+					vs = a.value.NewScratch(1)
+				}
+				tr.LastVal = a.value.ForwardBatch(vs, obs, 1)[0]
 				b.Transitions = append(b.Transitions, tr)
+				a.fillValues(b, obsMat)
 				return b
 			}
 			b.Transitions = append(b.Transitions, tr)
@@ -160,11 +251,30 @@ func (a *GaussianAgent) Collect(env ContinuousEnv, maxSteps int, rng *rand.Rand)
 			}
 		}
 	}
+	a.fillValues(b, obsMat)
 	return b
+}
+
+// fillValues runs the critic over the whole rollout in one batched forward
+// and fills Transition.Value. The per-step estimates feed only GAE at update
+// time, so deferring them trades n latency-bound single-row forwards for one
+// throughput-bound batched pass.
+func (a *GaussianAgent) fillValues(b *Batch, obsMat []float64) {
+	n := len(b.Transitions)
+	vals := a.value.ForwardBatch(a.value.NewScratch(n), obsMat, n)
+	for i := range b.Transitions {
+		b.Transitions[i].Value = vals[i]
+	}
 }
 
 // Update performs a PPO update: Epochs passes of clipped-surrogate
 // minibatch gradient steps over the batch.
+//
+// Each minibatch gathers its (shuffled) observations into a contiguous
+// [mb x ObsSize] matrix and runs the batched kernels over fixed-size shards
+// on parallel workers, reducing shard gradients in index order — the same
+// determinism contract as DiscreteAgent.Update: results do not depend on
+// the worker count.
 func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 	n := len(batch.Transitions)
 	if n == 0 {
@@ -183,61 +293,46 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 		idx[i] = i
 	}
 
-	pGrads := a.policy.NewGrads()
-	vGrads := a.value.NewGrads()
-	sGrads := make([]float64, a.cfg.ActionDim)
+	d := a.cfg.ObsSize
+	a.obsBuf = growFloats(a.obsBuf, mb*d)
+	a.ensureShards(numShards(mb))
 
 	updates := 0.0
 	for epoch := 0; epoch < max(1, a.cfg.Epochs); epoch++ {
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < n; start += mb {
 			end := min(start+mb, n)
-			pGrads.Zero()
-			vGrads.Zero()
-			clear(sGrads)
+			ids := idx[start:end]
 			bn := float64(end - start)
-			for _, i := range idx[start:end] {
-				t := &batch.Transitions[i]
-				mean, pCache := a.policy.ForwardCache(t.Obs)
-				std := a.Std()
-				logp := a.logProb(mean, std, t.ActionC)
-				ratio := math.Exp(logp - t.LogProb)
-				stats.KL += (t.LogProb - logp) / bn
-
-				// Clipped surrogate: L = min(r*A, clip(r)*A); gradient flows
-				// through r only when unclipped (or when clipping is inactive
-				// for this sign of A).
-				clipped := ratio < 1-a.cfg.ClipEps || ratio > 1+a.cfg.ClipEps
-				active := !clipped || (adv[i] > 0 && ratio < 1) || (adv[i] < 0 && ratio > 1)
-				surr := math.Min(ratio*adv[i], clampF(ratio, 1-a.cfg.ClipEps, 1+a.cfg.ClipEps)*adv[i])
-				stats.PolicyLoss += -surr / bn
-
-				if active {
-					// dL/dmean_k = -A * r * (a_k - mean_k)/std_k^2
-					gm := make([]float64, len(mean))
-					for k := range mean {
-						z := (t.ActionC[k] - mean[k]) / (std[k] * std[k])
-						gm[k] = -adv[i] * ratio * z / bn
-						// dlogp/dlogstd = z^2 - 1 (with z=(a-mu)/std);
-						// entropy bonus gradient dH/dlogstd = 1.
-						zz := (t.ActionC[k] - mean[k]) / std[k]
-						sGrads[k] += (-adv[i]*ratio*(zz*zz-1) - a.cfg.Entropy) / bn
-					}
-					a.policy.Backward(pCache, gm, pGrads)
+			for r, i := range ids {
+				copy(a.obsBuf[r*d:(r+1)*d], batch.Transitions[i].Obs)
+			}
+			a.stdInto(a.stdBuf)
+			a.pGrads.Zero()
+			a.vGrads.Zero()
+			clear(a.sGrads)
+			shards := numShards(len(ids))
+			par.ForN(shards, a.updateWorkers(), func(si int) {
+				ss, se := shardBounds(si, len(ids))
+				a.shards[si].run(a, batch, ids, adv, returns, ss, se, bn)
+			})
+			for _, sh := range a.shards[:shards] {
+				a.pGrads.Add(sh.pGrads, 1)
+				a.vGrads.Add(sh.vGrads, 1)
+				for k := range a.sGrads {
+					a.sGrads[k] += sh.sGrads[k]
 				}
-
-				v, vCache := a.value.ForwardCache(t.Obs)
-				diff := v[0] - returns[i]
-				stats.ValueLoss += 0.5 * diff * diff / bn
-				a.value.Backward(vCache, []float64{diff / bn}, vGrads)
+				stats.PolicyLoss += sh.stats.PolicyLoss
+				stats.ValueLoss += sh.stats.ValueLoss
+				stats.KL += sh.stats.KL
 			}
 			if a.cfg.ClipNorm > 0 {
-				pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
-				vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+				a.pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
+				a.vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
 			}
-			a.pOpt.Step(a.policy, pGrads)
-			a.vOpt.Step(a.value, vGrads)
-			a.sOpt.step(a.logStd, sGrads)
+			a.pOpt.Step(a.policy, a.pGrads)
+			a.vOpt.Step(a.value, a.vGrads)
+			a.sOpt.step(a.logStd, a.sGrads)
 			for k := range a.logStd {
 				// Keep the std in a sane band.
 				a.logStd[k] = clampF(a.logStd[k], math.Log(a.cfg.MinStd), math.Log(2.0))
@@ -255,6 +350,67 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 		stats.Entropy += 0.5*math.Log(2*math.Pi*math.E) + math.Log(s)
 	}
 	return stats
+}
+
+// run computes shard si's gradient contribution for minibatch rows
+// [start,end): ids maps minibatch rows to batch transition indices, the
+// gathered observations live in a.obsBuf, and a.stdBuf holds the std
+// snapshot for this minibatch. bn is the minibatch size.
+func (sh *gaussianShard) run(a *GaussianAgent, batch *Batch, ids []int, adv, returns []float64, start, end int, bn float64) {
+	sh.pGrads.Zero()
+	sh.vGrads.Zero()
+	clear(sh.sGrads)
+	sh.stats = UpdateStats{}
+	d := a.cfg.ObsSize
+	k := a.cfg.ActionDim
+	b := end - start
+	x := a.obsBuf[start*d : end*d]
+	std := a.stdBuf
+
+	means := a.policy.ForwardBatchCache(sh.ps, x, b)
+	for r := 0; r < b; r++ {
+		i := ids[start+r]
+		t := &batch.Transitions[i]
+		mean := means[r*k : (r+1)*k]
+		logp := a.logProb(mean, std, t.ActionC)
+		ratio := math.Exp(logp - t.LogProb)
+		sh.stats.KL += (t.LogProb - logp) / bn
+
+		// Clipped surrogate: L = min(r*A, clip(r)*A); gradient flows
+		// through r only when unclipped (or when clipping is inactive
+		// for this sign of A).
+		clipped := ratio < 1-a.cfg.ClipEps || ratio > 1+a.cfg.ClipEps
+		active := !clipped || (adv[i] > 0 && ratio < 1) || (adv[i] < 0 && ratio > 1)
+		surr := math.Min(ratio*adv[i], clampF(ratio, 1-a.cfg.ClipEps, 1+a.cfg.ClipEps)*adv[i])
+		sh.stats.PolicyLoss += -surr / bn
+
+		gm := sh.gmBuf[r*k : (r+1)*k]
+		if active {
+			// dL/dmean_j = -A * r * (a_j - mean_j)/std_j^2
+			for j := range gm {
+				z := (t.ActionC[j] - mean[j]) / (std[j] * std[j])
+				gm[j] = -adv[i] * ratio * z / bn
+				// dlogp/dlogstd = z^2 - 1 (with z=(a-mu)/std);
+				// entropy bonus gradient dH/dlogstd = 1.
+				zz := (t.ActionC[j] - mean[j]) / std[j]
+				sh.sGrads[j] += (-adv[i]*ratio*(zz*zz-1) - a.cfg.Entropy) / bn
+			}
+		} else {
+			// Clipped-out samples contribute exact zeros through the
+			// batched backward (a zero gradOut row is a no-op).
+			clear(gm)
+		}
+	}
+	a.policy.BackwardBatch(sh.ps, sh.gmBuf[:b*k], sh.pGrads)
+
+	v := a.value.ForwardBatchCache(sh.vs, x, b)
+	for r := 0; r < b; r++ {
+		i := ids[start+r]
+		diff := v[r] - returns[i]
+		sh.stats.ValueLoss += 0.5 * diff * diff / bn
+		sh.vGradBuf[r] = diff / bn
+	}
+	a.value.BackwardBatch(sh.vs, sh.vGradBuf[:b], sh.vGrads)
 }
 
 // TrainIteration samples environments from makeEnv and performs one
@@ -291,7 +447,7 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 
 // Clone returns an independent copy of the agent with fresh optimizer state.
 func (a *GaussianAgent) Clone() *GaussianAgent {
-	return &GaussianAgent{
+	c := &GaussianAgent{
 		cfg:    a.cfg,
 		policy: a.policy.Clone(),
 		value:  a.value.Clone(),
@@ -300,6 +456,8 @@ func (a *GaussianAgent) Clone() *GaussianAgent {
 		vOpt:   nn.NewAdam(a.cfg.LR),
 		sOpt:   newAdamVec(a.cfg.LR, a.cfg.ActionDim),
 	}
+	c.initGradState()
+	return c
 }
 
 // Save serializes the agent.
@@ -334,10 +492,12 @@ func LoadGaussianAgent(cfg GaussianConfig, r io.Reader) (*GaussianAgent, error) 
 			return nil, fmt.Errorf("rl: load logstd: %w", err)
 		}
 	}
-	return &GaussianAgent{
+	a := &GaussianAgent{
 		cfg: cfg, policy: policy, value: value, logStd: logStd,
 		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
-	}, nil
+	}
+	a.initGradState()
+	return a, nil
 }
 
 // adamVec is Adam over a plain float64 vector (the log-std parameters).

@@ -12,6 +12,8 @@ package rl
 import (
 	"math"
 	"math/rand"
+
+	"github.com/genet-go/genet/internal/nn"
 )
 
 // DiscreteEnv is a sequential decision environment with a finite action set.
@@ -61,6 +63,18 @@ type Batch struct {
 	Transitions []Transition
 	Episodes    int
 	TotalReward float64 // summed over all episodes
+
+	// Rollout activation caches recorded by DiscreteAgent.Collect. A2C is
+	// on-policy: parameters are frozen between Collect and Update, so the
+	// activations the rollout already computed are exactly the ones the
+	// update's backward pass needs. Update consumes them only when the batch
+	// was recorded by the same agent at its current parameter version
+	// (cacheOwner/cacheVersion guard), falling back to recomputing forwards
+	// otherwise — e.g. for hand-built batches or a second Update on the same
+	// batch.
+	pCache, vCache *nn.BatchCache
+	cacheOwner     *DiscreteAgent
+	cacheVersion   uint64
 }
 
 // MeanEpisodeReward returns TotalReward averaged over episodes (0 when no

@@ -83,19 +83,63 @@ func (t *Trace) At(ts float64) float64 {
 	return t.Bandwidth[lo]
 }
 
+// AtHint is At with a caller-held cursor: pass the hint returned by the
+// previous call. When successive queries advance slowly through the trace —
+// the replay pattern of the simulators' integration loops — the lookup walks
+// the cursor forward a step instead of binary-searching every call. Results
+// are identical to At for any hint value.
+func (t *Trace) AtHint(ts float64, hint int) (bw float64, newHint int) {
+	n := len(t.Timestamps)
+	if n == 0 {
+		return 0, 0
+	}
+	if ts <= t.Timestamps[0] {
+		return t.Bandwidth[0], 0
+	}
+	if ts >= t.Timestamps[n-1] {
+		return t.Bandwidth[n-1], n - 1
+	}
+	if hint < 0 || hint >= n || t.Timestamps[hint] > ts {
+		hint = 0
+	}
+	for steps := 0; hint+1 < n && t.Timestamps[hint+1] <= ts; steps++ {
+		if steps == 8 {
+			// Far jump: fall back to binary search over the remainder.
+			lo, hi := hint, n-1
+			for lo < hi {
+				mid := (lo + hi + 1) / 2
+				if t.Timestamps[mid] <= ts {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+			}
+			return t.Bandwidth[lo], lo
+		}
+		hint++
+	}
+	return t.Bandwidth[hint], hint
+}
+
 // AtWrapped is like At but wraps ts modulo the trace duration, so a short
 // trace can drive an arbitrarily long simulation (the replay behaviour of
 // the Pensieve and Aurora simulators).
 func (t *Trace) AtWrapped(ts float64) float64 {
+	bw, _ := t.AtWrappedHint(ts, 0)
+	return bw
+}
+
+// AtWrappedHint is AtWrapped with a caller-held cursor (see AtHint).
+func (t *Trace) AtWrappedHint(ts float64, hint int) (bw float64, newHint int) {
 	d := t.Duration()
 	if d <= 0 {
-		return t.At(ts)
+		return t.At(ts), hint
 	}
 	off := math.Mod(ts-t.Timestamps[0], d)
 	if off < 0 {
 		off += d
 	}
-	return t.At(t.Timestamps[0] + off)
+	return t.AtHint(t.Timestamps[0]+off, hint)
 }
 
 // Mean returns the time-weighted mean bandwidth of the trace in Mbps.

@@ -261,3 +261,51 @@ func TestAtMatchesLinearScan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAtHintMatchesAt sweeps forward, backward, and random query patterns
+// with an arbitrary (including stale or out-of-range) carried hint and
+// requires AtHint/AtWrappedHint to agree exactly with the binary-search At.
+func TestAtHintMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ts := make([]float64, 40)
+	bw := make([]float64, 40)
+	cur := 0.0
+	for i := range ts {
+		cur += 0.1 + rng.Float64()
+		ts[i] = cur
+		bw[i] = 0.5 + 5*rng.Float64()
+	}
+	tr := mkTrace(t, ts, bw)
+
+	check := func(q float64, hint int) int {
+		got, newHint := tr.AtHint(q, hint)
+		if want := tr.At(q); got != want {
+			t.Fatalf("AtHint(%g, hint=%d) = %g, At = %g", q, hint, got, want)
+		}
+		if newHint < 0 || newHint >= len(ts) {
+			t.Fatalf("AtHint(%g, hint=%d) returned hint %d out of range", q, hint, newHint)
+		}
+		wGot, _ := tr.AtWrappedHint(q, hint)
+		if wWant := tr.AtWrapped(q); wGot != wWant {
+			t.Fatalf("AtWrappedHint(%g, hint=%d) = %g, AtWrapped = %g", q, hint, wGot, wWant)
+		}
+		return newHint
+	}
+
+	// Monotone forward sweep carrying the hint (the simulator pattern),
+	// stepping both within and across segments.
+	hint := 0
+	for q := ts[0] - 0.5; q < ts[len(ts)-1]+0.5; q += 0.07 {
+		hint = check(q, hint)
+	}
+	// Random queries with random (possibly stale) hints.
+	for i := 0; i < 500; i++ {
+		q := ts[0] - 1 + rng.Float64()*(tr.Duration()+2)
+		check(q, rng.Intn(3*len(ts))-len(ts))
+	}
+	// Backward sweep: hints always ahead of the query.
+	hint = len(ts) - 1
+	for q := ts[len(ts)-1]; q > ts[0]; q -= 0.21 {
+		hint = check(q, hint)
+	}
+}

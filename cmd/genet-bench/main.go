@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/genet-go/genet/internal/experiments"
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		listFlag  = flag.Bool("list", false, "list available experiment ids and exit")
 		microFlag = flag.String("micro", "", "run the RL hot-path micro-benchmarks and write a JSON baseline to this file (e.g. BENCH_1.json), then exit")
+		metFlag   = flag.String("metrics", "", "stream JSON-lines run telemetry to this file (closing line is a summary snapshot)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
@@ -74,14 +76,31 @@ func main() {
 		out = f
 	}
 
+	// reg stays nil (telemetry off) without -metrics; experiments.Run tags
+	// each experiment's slice of the stream.
+	var reg *metrics.Registry
+	if *metFlag != "" {
+		sink, err := metrics.FileSink(*metFlag)
+		if err != nil {
+			fatal(err)
+		}
+		reg = metrics.NewRegistry()
+		reg.SetSink(sink)
+		defer func() {
+			reg.EmitSnapshot()
+			if err := reg.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "genet-bench: metrics:", err)
+			}
+		}()
+	}
+
 	for _, id := range ids {
-		runner, ok := experiments.Lookup(id)
-		if !ok {
+		if _, ok := experiments.Lookup(id); !ok {
 			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 		}
 		fmt.Fprintf(os.Stderr, "running %s at scale %s...\n", id, scale)
 		start := time.Now()
-		res, err := runner(scale, *seedFlag)
+		res, err := experiments.Run(id, scale, *seedFlag, reg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}

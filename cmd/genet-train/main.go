@@ -20,6 +20,7 @@ import (
 	"github.com/genet-go/genet/internal/cc"
 	"github.com/genet-go/genet/internal/core"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 func main() {
@@ -33,11 +34,34 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		outPath  = flag.String("o", "", "output model file (required)")
 		baseName = flag.String("baseline", "", "rule-based baseline override (abr: mpc|bba; cc: bbr|cubic; lb: llf)")
+		metPath  = flag.String("metrics", "", "stream JSON-lines training telemetry to this file (closing line is a summary snapshot)")
 	)
 	flag.Parse()
 	if *outPath == "" {
 		fmt.Fprintln(os.Stderr, "genet-train: -o is required")
 		os.Exit(2)
+	}
+
+	// reg stays nil (telemetry off, zero hot-path cost) without -metrics.
+	var reg *metrics.Registry
+	if *metPath != "" {
+		sink, err := metrics.FileSink(*metPath)
+		if err != nil {
+			fatal(err)
+		}
+		reg = metrics.NewRegistry()
+		reg.SetSink(sink)
+		reg.EmitTagged("run/start",
+			map[string]string{"tool": "genet-train", "usecase": *useCase, "strategy": *strategy},
+			metrics.F{K: "seed", V: float64(*seed)},
+			metrics.F{K: "rounds", V: float64(*rounds)},
+			metrics.F{K: "iters", V: float64(*iters)})
+		defer func() {
+			reg.EmitSnapshot()
+			if err := reg.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "genet-train: metrics:", err)
+			}
+		}()
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -53,6 +77,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	core.SetHarnessMetrics(h, reg)
 
 	start := time.Now()
 	switch strings.ToLower(*strategy) {
@@ -65,6 +90,7 @@ func main() {
 		opts := core.Options{
 			Rounds: *rounds, ItersPerRound: *iters,
 			BOSteps: *boSteps, EnvsPerEval: *envsEval,
+			Metrics: reg,
 		}
 		if strings.EqualFold(*useCase, "cc") {
 			// CC rewards scale with link bandwidth; search normalized gaps.

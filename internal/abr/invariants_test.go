@@ -1,0 +1,133 @@
+package abr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/trace"
+)
+
+// Property test: drive Next with random ladders, traces, and policies and
+// check the session mechanics against a shadow model on every step. The
+// shadow replays the documented buffer update in the same operation order as
+// Next, so every comparison is exact (==, no tolerance): any reordering or
+// drift in the simulator is a test failure, not rounding.
+//
+// Invariants per chunk:
+//   - the buffer is never negative and never exceeds the configured cap;
+//   - rebuffering equals the drain shortfall max(0, downloadTime - buffer),
+//     except on the first chunk where startup delay is free;
+//   - wait time is exactly the buffer overshoot past the cap;
+//   - the clock advances by downloadTime plus wait;
+//   - the reward matches the Table 1 formula for the observed step.
+func TestSimInvariants(t *testing.T) {
+	const episodes = 120
+	for ep := 0; ep < episodes; ep++ {
+		rng := rand.New(rand.NewSource(int64(1000 + ep)))
+
+		chunkLen := 1 + 3*rng.Float64()
+		videoLen := chunkLen + 100*rng.Float64()
+		video, err := NewVideo(videoLen, chunkLen, DefaultBitratesKbps, rng)
+		if err != nil {
+			t.Fatalf("ep %d: NewVideo: %v", ep, err)
+		}
+
+		tr := randomTrace(rng)
+		cfg := SimConfig{
+			RTTMs:        20 + 400*rng.Float64(),
+			MaxBufferSec: 2 + 40*rng.Float64(),
+		}
+		sim, err := NewSim(video, tr, cfg)
+		if err != nil {
+			t.Fatalf("ep %d: NewSim: %v", ep, err)
+		}
+
+		steps := 0
+		for !sim.Done() {
+			level := rng.Intn(video.NumLevels())
+			b0 := sim.Buffer()
+			c0 := sim.Clock()
+			last := sim.LastLevel()
+			first := !sim.started
+
+			res := sim.Next(level)
+			dl := res.DownloadTime
+
+			// Shadow model: same operations, same order as Sim.Next.
+			b, reb := b0, 0.0
+			if dl > b0 {
+				reb = dl - b0
+				b = 0
+			} else {
+				b = b0 - dl
+			}
+			if first {
+				reb = 0
+			}
+			b += video.ChunkLength
+			c := c0 + dl
+			wait := 0.0
+			if b > cfg.MaxBufferSec {
+				wait = b - cfg.MaxBufferSec
+				b = cfg.MaxBufferSec
+				c += wait
+			}
+
+			if res.Rebuffer != reb {
+				t.Fatalf("ep %d chunk %d: rebuffer = %v, shadow %v (dl=%v buffer=%v first=%v)",
+					ep, steps, res.Rebuffer, reb, dl, b0, first)
+			}
+			if res.WaitTime != wait {
+				t.Fatalf("ep %d chunk %d: wait = %v, shadow %v", ep, steps, res.WaitTime, wait)
+			}
+			if sim.Buffer() != b {
+				t.Fatalf("ep %d chunk %d: buffer = %v, shadow %v", ep, steps, sim.Buffer(), b)
+			}
+			if sim.Clock() != c {
+				t.Fatalf("ep %d chunk %d: clock = %v, shadow %v", ep, steps, sim.Clock(), c)
+			}
+			if sim.Buffer() < 0 || sim.Buffer() > cfg.MaxBufferSec {
+				t.Fatalf("ep %d chunk %d: buffer %v outside [0, %v]", ep, steps, sim.Buffer(), cfg.MaxBufferSec)
+			}
+			if res.Rebuffer < 0 || res.WaitTime < 0 {
+				t.Fatalf("ep %d chunk %d: negative stall: rebuf=%v wait=%v", ep, steps, res.Rebuffer, res.WaitTime)
+			}
+			if dl < sim.rttSec {
+				t.Fatalf("ep %d chunk %d: download time %v below RTT %v", ep, steps, dl, sim.rttSec)
+			}
+
+			br := video.BitrateMbps(level)
+			change := 0.0
+			if last >= 0 {
+				change = math.Abs(br - video.BitrateMbps(last))
+			}
+			if want := RewardBitrateCoef*br + RewardRebufCoef*reb + RewardChangeCoef*change; res.Reward != want {
+				t.Fatalf("ep %d chunk %d: reward = %v, shadow %v", ep, steps, res.Reward, want)
+			}
+			steps++
+		}
+		if steps != video.NumChunks() {
+			t.Fatalf("ep %d: %d steps for %d chunks", ep, steps, video.NumChunks())
+		}
+	}
+}
+
+// randomTrace builds a valid random piecewise-constant trace. Bandwidth is
+// floored at 0.05 Mbps so pathological all-zero traces cannot make a single
+// chunk take millions of integration steps.
+func randomTrace(rng *rand.Rand) *trace.Trace {
+	n := 1 + rng.Intn(30)
+	tr := &trace.Trace{
+		Timestamps: make([]float64, n),
+		Bandwidth:  make([]float64, n),
+	}
+	ts := rng.Float64() * 2
+	maxBW := 0.5 + 20*rng.Float64()
+	for i := 0; i < n; i++ {
+		tr.Timestamps[i] = ts
+		ts += 0.1 + 4*rng.Float64()
+		tr.Bandwidth[i] = 0.05 + (maxBW-0.05)*rng.Float64()
+	}
+	return tr
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 // Objective is a blackbox function over the unit hypercube to maximize. In
@@ -70,6 +72,12 @@ type Options struct {
 	// Candidates is how many random candidates the acquisition maximizer
 	// scores per step (default 512).
 	Candidates int
+	// Metrics optionally receives the query stream: one "bo/query" event
+	// per objective evaluation (with the winning acquisition value and GP
+	// posterior for acquisition-chosen points) and one "bo/gp" event per
+	// search with the GP hyperparameters. Telemetry never draws from rng,
+	// so attaching it cannot change which points are evaluated.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) defaults() error {
@@ -99,14 +107,42 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
+	m := opts.Metrics
 	tr := &Trace{}
-	eval := func(x []float64) {
-		tr.Evals = append(tr.Evals, Result{X: x, Value: f(x)})
+	// eval runs the objective and streams one "bo/query" event; random
+	// probes (seeding and fit-failure fallbacks) carry random=1 and no
+	// posterior, acquisition-chosen points carry the winning EI and the GP
+	// posterior at the chosen point.
+	eval := func(x []float64, random bool, ei, mu, va float64) {
+		v := f(x)
+		tr.Evals = append(tr.Evals, Result{X: x, Value: v})
+		if m.Enabled() {
+			m.Counter("bo/evals").Inc()
+			if random {
+				m.Emit("bo/query",
+					metrics.F{K: "step", V: float64(len(tr.Evals) - 1)},
+					metrics.F{K: "value", V: v},
+					metrics.F{K: "random", V: 1})
+			} else {
+				m.Emit("bo/query",
+					metrics.F{K: "step", V: float64(len(tr.Evals) - 1)},
+					metrics.F{K: "value", V: v},
+					metrics.F{K: "ei", V: ei},
+					metrics.F{K: "mu", V: mu},
+					metrics.F{K: "var", V: va})
+			}
+		}
 	}
 	for i := 0; i < opts.InitRandom; i++ {
-		eval(randPoint(opts.Dims, rng))
+		eval(randPoint(opts.Dims, rng), true, 0, 0, 0)
 	}
 	gp := NewGP()
+	if m.Enabled() {
+		m.Emit("bo/gp",
+			metrics.F{K: "length_scale", V: gp.LengthScale},
+			metrics.F{K: "signal_var", V: gp.SignalVar},
+			metrics.F{K: "noise_var", V: gp.NoiseVar})
+	}
 	for len(tr.Evals) < opts.Steps {
 		xs := make([][]float64, len(tr.Evals))
 		ys := make([]float64, len(tr.Evals))
@@ -118,12 +154,13 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 		if err := gp.Fit(xs, ys); err != nil {
 			// Degenerate geometry (e.g. duplicate points): fall back to a
 			// random probe rather than aborting the whole search.
-			eval(randPoint(opts.Dims, rng))
+			eval(randPoint(opts.Dims, rng), true, 0, 0, 0)
 			continue
 		}
 		incumbent, _ := bestOf(ys)
 		var bestX []float64
 		bestEI := -1.0
+		var bestMu, bestVar float64
 		for c := 0; c < opts.Candidates; c++ {
 			x := randPoint(opts.Dims, rng)
 			mu, va := gp.Predict(x)
@@ -131,9 +168,10 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 			if ei > bestEI {
 				bestEI = ei
 				bestX = x
+				bestMu, bestVar = mu, va
 			}
 		}
-		eval(bestX)
+		eval(bestX, false, bestEI, bestMu, bestVar)
 	}
 	return tr, nil
 }

@@ -206,7 +206,10 @@ func (s *Sim) runFor(sendRate, dur float64) MIStats {
 
 	loss := 0.0
 	if sentBits > 0 {
-		loss = lostBits / sentBits
+		// Accumulation order can push lost a few ULPs past sent when the
+		// queue sits at capacity over a stalled link; a loss *fraction*
+		// stays in [0, 1] by definition.
+		loss = math.Min(lostBits/sentBits, 1)
 	}
 	return MIStats{
 		Duration:   dur,

@@ -1,0 +1,160 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/trace"
+)
+
+// Property test: run random links and send rates and recompute every monitor
+// interval with a shadow of the fluid integration loop. The shadow performs
+// the same operations in the same order as runFor (the only rng use in the
+// simulator is latency noise, which never touches the bit flow), so queue,
+// clock, throughput, and loss comparisons are exact.
+//
+// Invariants per MI:
+//   - delivered bits never exceed sent bits plus the queue backlog at the
+//     interval start, nor the bandwidth integrated over the interval plus
+//     that same backlog;
+//   - sent = delivered + lost + queue growth (flow conservation);
+//   - the queue stays within [0, capacity];
+//   - loss rate is a fraction and latency is bounded below by propagation.
+func TestSimInvariants(t *testing.T) {
+	const episodes = 120
+	for ep := 0; ep < episodes; ep++ {
+		setup := rand.New(rand.NewSource(int64(2000 + ep)))
+
+		tr := randomCCTrace(setup)
+		link := LinkParams{
+			OneWayDelayMs: 1 + 200*setup.Float64(),
+			QueuePackets:  2 + float64(setup.Intn(200)),
+			RandomLoss:    0.05 * setup.Float64(),
+			DelayNoiseMs:  2 * setup.Float64(),
+		}
+		if setup.Intn(4) == 0 {
+			link.RandomLoss = 0
+		}
+		sim, err := NewSim(tr, link, rand.New(rand.NewSource(int64(ep))))
+		if err != nil {
+			t.Fatalf("ep %d: NewSim: %v", ep, err)
+		}
+		queueCapBits := link.QueuePackets * PacketBytes * 8
+
+		for mi := 0; mi < 25; mi++ {
+			q0 := sim.queueBits
+			c0 := sim.clock
+			rate := 0.05 + 40*setup.Float64()
+			if mi%7 == 0 {
+				rate = 0.001 // exercises the 0.01 Mbps send-rate floor
+			}
+			st := sim.RunMI(rate)
+
+			// Shadow of runFor's integration, same order of operations.
+			sendRate := rate
+			if sendRate < 0.01 {
+				sendRate = 0.01
+			}
+			var sent, delivered, lost, servedTotal float64
+			queue := q0
+			clock := c0
+			cur := 0
+			end := c0 + st.Duration
+			for clock < end {
+				dt := math.Min(simStep, end-clock)
+				var bw float64
+				bw, cur = tr.AtWrappedHint(clock, cur)
+				bw *= 1e6
+				arrive := sendRate * 1e6 * dt
+				sent += arrive
+				if link.RandomLoss > 0 {
+					dropped := arrive * link.RandomLoss
+					lost += dropped
+					arrive -= dropped
+				}
+				queue += arrive
+				if queue > queueCapBits {
+					lost += queue - queueCapBits
+					queue = queueCapBits
+				}
+				served := bw * dt
+				servedTotal += served
+				del := math.Min(served, queue)
+				queue -= del
+				delivered += del
+				clock += dt
+			}
+
+			if sim.queueBits != queue {
+				t.Fatalf("ep %d mi %d: queue = %v bits, shadow %v", ep, mi, sim.queueBits, queue)
+			}
+			if sim.clock != clock {
+				t.Fatalf("ep %d mi %d: clock = %v, shadow %v", ep, mi, sim.clock, clock)
+			}
+			if want := delivered / st.Duration / 1e6; st.Throughput != want {
+				t.Fatalf("ep %d mi %d: throughput = %v, shadow %v", ep, mi, st.Throughput, want)
+			}
+			wantLoss := 0.0
+			if sent > 0 {
+				wantLoss = math.Min(lost/sent, 1)
+			}
+			if st.LossRate != wantLoss {
+				t.Fatalf("ep %d mi %d: loss = %v, shadow %v", ep, mi, st.LossRate, wantLoss)
+			}
+			if st.SendRate != sendRate {
+				t.Fatalf("ep %d mi %d: send rate = %v, want clamped %v", ep, mi, st.SendRate, sendRate)
+			}
+
+			// Conservation and bounds (tolerances cover only the shadow's own
+			// floating-point accumulation, not simulator drift).
+			tol := 1e-9 * math.Max(1, sent)
+			if delivered > sent+q0+tol {
+				t.Fatalf("ep %d mi %d: delivered %v > sent %v + backlog %v", ep, mi, delivered, sent, q0)
+			}
+			if delivered > servedTotal+q0+tol {
+				t.Fatalf("ep %d mi %d: delivered %v exceeds bandwidth integral %v + backlog %v",
+					ep, mi, delivered, servedTotal, q0)
+			}
+			if gap := math.Abs(sent - (delivered + lost + (queue - q0))); gap > tol {
+				t.Fatalf("ep %d mi %d: conservation violated by %v bits (sent=%v delivered=%v lost=%v dq=%v)",
+					ep, mi, gap, sent, delivered, lost, queue-q0)
+			}
+			if queue < 0 || queue > queueCapBits {
+				t.Fatalf("ep %d mi %d: queue %v outside [0, %v]", ep, mi, queue, queueCapBits)
+			}
+			if st.LossRate < 0 || st.LossRate > 1 {
+				t.Fatalf("ep %d mi %d: loss rate %v outside [0,1]", ep, mi, st.LossRate)
+			}
+			if st.AvgLatency < sim.baseRTT || st.MinLatency < sim.baseRTT {
+				t.Fatalf("ep %d mi %d: latency below propagation: avg=%v min=%v base=%v",
+					ep, mi, st.AvgLatency, st.MinLatency, sim.baseRTT)
+			}
+			if st.MinLatency > st.AvgLatency {
+				t.Fatalf("ep %d mi %d: min latency %v above avg %v", ep, mi, st.MinLatency, st.AvgLatency)
+			}
+		}
+	}
+}
+
+// randomCCTrace builds a valid random piecewise-constant trace, including
+// occasional zero-bandwidth spans (a fluid link can stall; the queue must
+// absorb it).
+func randomCCTrace(rng *rand.Rand) *trace.Trace {
+	n := 1 + rng.Intn(25)
+	tr := &trace.Trace{
+		Timestamps: make([]float64, n),
+		Bandwidth:  make([]float64, n),
+	}
+	ts := rng.Float64()
+	for i := 0; i < n; i++ {
+		tr.Timestamps[i] = ts
+		ts += 0.05 + 2*rng.Float64()
+		if rng.Intn(10) == 0 {
+			tr.Bandwidth[i] = 0
+		} else {
+			tr.Bandwidth[i] = 30 * rng.Float64()
+		}
+	}
+	return tr
+}

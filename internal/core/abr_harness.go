@@ -6,6 +6,7 @@ import (
 
 	"github.com/genet-go/genet/internal/abr"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/par"
 	"github.com/genet-go/genet/internal/rl"
 	"github.com/genet-go/genet/internal/stats"
@@ -38,8 +39,18 @@ type ABRHarness struct {
 	StepsPerIter int
 	// OmniscientHorizon is the oracle's look-ahead (default 6).
 	OmniscientHorizon int
+	// Metrics optionally receives per-iteration training telemetry; set it
+	// via SetMetrics so the agent's per-update stream is attached too.
+	Metrics *metrics.Registry
 
 	space *env.Space
+}
+
+// SetMetrics implements MetricsSetter: per-iteration rewards flow from the
+// harness, per-update losses from the agent, into the same registry.
+func (h *ABRHarness) SetMetrics(m *metrics.Registry) {
+	h.Metrics = m
+	h.Agent.Metrics = m
 }
 
 // NewABRHarness builds a harness over the given configuration space with a
@@ -76,6 +87,7 @@ func (h *ABRHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
 		curve[i] = reward
+		emitTrainIter(h.Metrics, i, reward)
 	}
 	return curve
 }

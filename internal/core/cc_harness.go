@@ -6,6 +6,7 @@ import (
 
 	"github.com/genet-go/genet/internal/cc"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/par"
 	"github.com/genet-go/genet/internal/rl"
 	"github.com/genet-go/genet/internal/stats"
@@ -32,8 +33,17 @@ type CCHarness struct {
 	// (defaults 4 environments, 800 monitor intervals).
 	EnvsPerIter  int
 	StepsPerIter int
+	// Metrics optionally receives per-iteration training telemetry; set it
+	// via SetMetrics so the agent's per-update stream is attached too.
+	Metrics *metrics.Registry
 
 	space *env.Space
+}
+
+// SetMetrics implements MetricsSetter.
+func (h *CCHarness) SetMetrics(m *metrics.Registry) {
+	h.Metrics = m
+	h.Agent.Metrics = m
 }
 
 // NewCCHarness builds a harness over the given configuration space with a
@@ -72,6 +82,7 @@ func (h *CCHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []f
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
 		curve[i] = reward
+		emitTrainIter(h.Metrics, i, reward)
 	}
 	return curve
 }

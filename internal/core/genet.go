@@ -7,6 +7,7 @@ import (
 
 	"github.com/genet-go/genet/internal/bo"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 // Objective scores a candidate configuration for promotion given the
@@ -132,6 +133,12 @@ type Options struct {
 	// this classic anti-forgetting measure makes Genet *worse* (footnote
 	// 7); it is exposed for the forgetting ablation and defaults to off.
 	ExplorationFloor float64
+	// Metrics optionally receives curriculum telemetry: the current phase,
+	// per-round promotion decisions, and the BO query stream. NewTrainer
+	// also attaches it to the harness (and through it the agent), so one
+	// registry observes the whole stack. Telemetry is observation-only —
+	// it never draws from rng — so attaching it cannot change a run.
+	Metrics *metrics.Registry
 }
 
 // SearchKind selects how the sequencing module explores the config space.
@@ -203,9 +210,12 @@ type Trainer struct {
 }
 
 // NewTrainer builds a trainer; opts fields at zero take Algorithm 2
-// defaults.
+// defaults. A non-nil opts.Metrics is attached to the harness as well.
 func NewTrainer(h Harness, opts Options) *Trainer {
 	opts.defaults()
+	if opts.Metrics.Enabled() {
+		SetHarnessMetrics(h, opts.Metrics)
+	}
 	return &Trainer{h: h, opts: opts}
 }
 
@@ -226,6 +236,12 @@ func (t *Trainer) Run(rng *rand.Rand) (*Report, error) {
 		Distribution: env.NewDistribution(t.h.Space()),
 	}
 	rep.Distribution.SetExplorationFloor(t.opts.ExplorationFloor)
+	m := t.opts.Metrics
+	if m.Enabled() {
+		// Phase -1 is warm-up; rounds count from 0.
+		m.Gauge("curriculum/phase").Set(-1)
+		m.Emit("curriculum/phase", metrics.F{K: "round", V: -1})
+	}
 	if t.opts.WarmupIters > 0 {
 		rep.WarmupCurve = t.h.Train(rep.Distribution, t.opts.WarmupIters, rng)
 	}
@@ -239,6 +255,20 @@ func (t *Trainer) Run(rng *rand.Rand) (*Report, error) {
 		}
 		if err := rep.Distribution.Promote(cfg, t.opts.PromoteWeight); err != nil {
 			return nil, fmt.Errorf("core: round %d promote: %w", round, err)
+		}
+		if m.Enabled() {
+			m.Gauge("curriculum/phase").Set(float64(round))
+			m.Counter("curriculum/promotions").Inc()
+			vals := cfg.Values()
+			fields := make([]metrics.F, 0, 3+len(vals))
+			fields = append(fields,
+				metrics.F{K: "round", V: float64(round)},
+				metrics.F{K: "score", V: score},
+				metrics.F{K: "evals", V: float64(evals)})
+			for i, name := range t.h.Space().Names() {
+				fields = append(fields, metrics.F{K: "cfg/" + name, V: vals[i]})
+			}
+			m.Emit("curriculum/promote", fields...)
 		}
 		curve := t.h.Train(rep.Distribution, t.opts.ItersPerRound, rng)
 		rep.Rounds = append(rep.Rounds, RoundReport{
@@ -277,7 +307,7 @@ func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, int, error) {
 	case SearchCoordinate:
 		tr = bo.CoordinateSearch(objective, space.NumDims(), 5, t.opts.BOSteps, rng)
 	default:
-		tr, err = bo.Maximize(objective, bo.Options{Dims: space.NumDims(), Steps: t.opts.BOSteps}, rng)
+		tr, err = bo.Maximize(objective, bo.Options{Dims: space.NumDims(), Steps: t.opts.BOSteps, Metrics: t.opts.Metrics}, rng)
 		if err != nil {
 			return env.Config{}, 0, 0, err
 		}

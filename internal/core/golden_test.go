@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"math/rand"
+
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/nn"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current results")
+
+// goldenRun pins a tiny end-to-end Trainer run: the checkpoint test-reward
+// vector must be bit-identical across commits, worker counts, and race-mode
+// runs. Kernel records which numeric path produced the numbers — the scalar
+// and AVX2 kernels are each internally deterministic but differ from each
+// other, so the comparison only applies when the paths match.
+type goldenRun struct {
+	Kernel  string    `json:"kernel"`
+	Rewards []float64 `json:"rewards"`
+}
+
+const goldenPath = "testdata/golden_abr_trainer.json"
+
+// TestGoldenTrainerDeterminism runs a fixed-seed miniature Genet curriculum
+// on the real ABR harness and compares the after-round evaluation rewards
+// against the committed golden file, exactly. Any drift — a reordered
+// reduction, an rng consumed in a new place, a changed default — fails here
+// before it can silently change every experiment. Refresh intentionally with
+//
+//	go test ./internal/core/ -run TestGoldenTrainerDeterminism -update
+func TestGoldenTrainerDeterminism(t *testing.T) {
+	h, err := NewABRHarness(env.ABRSpace(env.RL1), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnvsPerIter, h.StepsPerIter = 2, 80
+
+	evalCfg := h.Space().Default(nil)
+	var rewards []float64
+	tr := NewTrainer(h, Options{
+		Rounds:        2,
+		ItersPerRound: 2,
+		BOSteps:       3,
+		EnvsPerEval:   1,
+		WarmupIters:   2,
+		AfterRound: func(round int) {
+			// Fresh rng per checkpoint: the evaluation must not perturb the
+			// training stream it is observing.
+			ev := h.Eval(evalCfg, 2, 0, rand.New(rand.NewSource(int64(100+round))))
+			rewards = append(rewards, ev.RL)
+		},
+	})
+	if _, err := tr.Run(rand.New(rand.NewSource(11))); err != nil {
+		t.Fatal(err)
+	}
+	got := goldenRun{Kernel: nn.KernelName(), Rewards: rewards}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (kernel %s, %d checkpoints)", goldenPath, got.Kernel, len(got.Rewards))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	var want goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenPath, err)
+	}
+	if want.Kernel != got.Kernel {
+		t.Skipf("golden recorded on %q kernels, this machine runs %q", want.Kernel, got.Kernel)
+	}
+	if len(got.Rewards) != len(want.Rewards) {
+		t.Fatalf("checkpoint count = %d, golden has %d", len(got.Rewards), len(want.Rewards))
+	}
+	for i := range want.Rewards {
+		if got.Rewards[i] != want.Rewards[i] {
+			t.Fatalf("checkpoint %d: reward = %.17g, golden %.17g (bit-exact determinism broken)",
+				i, got.Rewards[i], want.Rewards[i])
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 // EvalNeed selects which reference policies an Eval call must run alongside
@@ -95,6 +96,36 @@ type Harness interface {
 	// Space returns the environment configuration space the harness
 	// trains over.
 	Space() *env.Space
+}
+
+// MetricsSetter is implemented by harnesses that support telemetry: it
+// attaches a registry to the harness and its agent. It is a separate
+// interface rather than a Harness method so third-party harnesses keep
+// compiling.
+type MetricsSetter interface {
+	SetMetrics(*metrics.Registry)
+}
+
+// SetHarnessMetrics attaches m to h when the harness supports telemetry;
+// unknown harnesses are left untouched.
+func SetHarnessMetrics(h Harness, m *metrics.Registry) {
+	if s, ok := h.(MetricsSetter); ok {
+		s.SetMetrics(m)
+	}
+}
+
+// emitTrainIter streams one training-iteration reward sample; harness Train
+// loops call it once per iteration. Telemetry is observation-only — it never
+// draws from the training rng — so attaching a registry cannot change a run.
+func emitTrainIter(m *metrics.Registry, iter int, reward float64) {
+	if !m.Enabled() {
+		return
+	}
+	m.Counter("train/iters").Inc()
+	m.Gauge("train/last_reward").Set(reward)
+	m.Emit("train/iter",
+		metrics.F{K: "iter", V: float64(iter)},
+		metrics.F{K: "reward", V: reward})
 }
 
 // TrainTraditional is Algorithm 1: uniform sampling from the full space for

@@ -6,6 +6,7 @@ import (
 
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/lb"
+	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/par"
 	"github.com/genet-go/genet/internal/rl"
 	"github.com/genet-go/genet/internal/stats"
@@ -26,8 +27,17 @@ type LBHarness struct {
 	// (defaults 4 environments, 600 job assignments).
 	EnvsPerIter  int
 	StepsPerIter int
+	// Metrics optionally receives per-iteration training telemetry; set it
+	// via SetMetrics so the agent's per-update stream is attached too.
+	Metrics *metrics.Registry
 
 	space *env.Space
+}
+
+// SetMetrics implements MetricsSetter.
+func (h *LBHarness) SetMetrics(m *metrics.Registry) {
+	h.Metrics = m
+	h.Agent.Metrics = m
 }
 
 // NewLBHarness builds a harness over the given configuration space with a
@@ -58,6 +68,7 @@ func (h *LBHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []f
 	for i := 0; i < iters; i++ {
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
 		curve[i] = reward
+		emitTrainIter(h.Metrics, i, reward)
 	}
 	return curve
 }

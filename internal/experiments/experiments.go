@@ -18,6 +18,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"github.com/genet-go/genet/internal/metrics"
 )
 
 // Scale selects the experiment budget.
@@ -207,6 +210,36 @@ func register(id, desc string, r Runner) {
 func Lookup(id string) (Runner, bool) {
 	r, ok := registry[strings.ToLower(id)]
 	return r, ok
+}
+
+// Run looks up and executes one experiment, bracketing it with tagged
+// telemetry events on m (nil m runs untagged): "experiment/start" carries
+// the seed, "experiment/done" the wall-clock duration and row count (or
+// error=1 on failure). Every event between the two carries no tags but can
+// be attributed by position in the stream; bench runs with several
+// experiments rely on this framing.
+func Run(id string, scale Scale, seed int64, m *metrics.Registry) (*Result, error) {
+	runner, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	tags := map[string]string{"id": strings.ToLower(id), "scale": scale.String()}
+	if m.Enabled() {
+		m.Counter("experiment/runs").Inc()
+		m.EmitTagged("experiment/start", tags, metrics.F{K: "seed", V: float64(seed)})
+	}
+	start := time.Now()
+	res, err := runner(scale, seed)
+	if m.Enabled() {
+		fields := []metrics.F{{K: "seconds", V: time.Since(start).Seconds()}}
+		if err != nil {
+			fields = append(fields, metrics.F{K: "error", V: 1})
+		} else {
+			fields = append(fields, metrics.F{K: "rows", V: float64(len(res.Rows))})
+		}
+		m.EmitTagged("experiment/done", tags, fields...)
+	}
+	return res, err
 }
 
 // IDs returns all experiment ids, sorted.

@@ -1,0 +1,128 @@
+package lb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property test: dispatch random workloads with a random (sometimes
+// out-of-range) policy and mirror the cluster with a shadow model that
+// replays advance/assign in the same operation order, so per-server work
+// comparisons are exact. Alongside the exact shadow, the test tracks
+// per-server arrivals and drained work to check conservation: outstanding
+// work is always what arrived minus what drained.
+//
+// Invariants per job:
+//   - observed queue state is the true state routed through a valid
+//     permutation;
+//   - completion delay is FIFO: (outstanding + job size) / service rate,
+//     hence slowdown >= 1;
+//   - per-server outstanding work is never negative and equals
+//     arrivals - completions.
+func TestStepperInvariants(t *testing.T) {
+	const episodes = 120
+	for ep := 0; ep < episodes; ep++ {
+		setup := rand.New(rand.NewSource(int64(3000 + ep)))
+
+		w, err := GenerateWorkload(WorkloadParams{
+			MeanJobBytes:   50 + 5000*setup.Float64(),
+			MeanIntervalMs: 0.02 + 0.5*setup.Float64(),
+			NumJobs:        20 + setup.Intn(120),
+		}, setup)
+		if err != nil {
+			t.Fatalf("ep %d: GenerateWorkload: %v", ep, err)
+		}
+		e := &Env{
+			Workload:    w,
+			MaxRateMBps: 0.1 + 5*setup.Float64(),
+			ShuffleProb: setup.Float64(),
+		}
+		st, err := e.NewStepper(rand.New(rand.NewSource(int64(ep))))
+		if err != nil {
+			t.Fatalf("ep %d: NewStepper: %v", ep, err)
+		}
+		rates := st.Cluster().RatesBytesPerMs
+
+		shadow := make([]float64, NumServers)  // exact replica of workBytes
+		arrived := make([]float64, NumServers) // total bytes assigned
+		drained := make([]float64, NumServers) // total bytes completed
+		lastMs := 0.0
+
+		jobs := 0
+		for !st.Done() {
+			job := e.Workload.Jobs[st.idx]
+			obs := st.Observe()
+
+			// Shadow advance, same order as Cluster.advance.
+			if dt := job.ArrivalMs - lastMs; dt > 0 {
+				for i := range shadow {
+					d := rates[i] * dt
+					if d >= shadow[i] {
+						drained[i] += shadow[i]
+						shadow[i] = 0
+					} else {
+						shadow[i] -= d
+						drained[i] += d
+					}
+				}
+				lastMs = job.ArrivalMs
+			}
+
+			perm := append([]int(nil), obs.Perm...)
+			sorted := append([]int(nil), perm...)
+			sort.Ints(sorted)
+			for i, v := range sorted {
+				if v != i {
+					t.Fatalf("ep %d job %d: Perm %v is not a permutation", ep, jobs, perm)
+				}
+			}
+			for o, srv := range perm {
+				if obs.QueuedWork[o] != shadow[srv] {
+					t.Fatalf("ep %d job %d: observed work[%d] = %v, shadow server %d has %v",
+						ep, jobs, o, obs.QueuedWork[o], srv, shadow[srv])
+				}
+			}
+
+			choice := setup.Intn(NumServers + 2) // occasionally out of range
+			slow, delay := st.Assign(choice)
+			if choice >= NumServers {
+				choice = 0 // the simulator clamps out-of-range picks
+			}
+			srv := perm[choice]
+
+			wantDelay := (shadow[srv] + job.SizeBytes) / rates[srv]
+			shadow[srv] += job.SizeBytes
+			arrived[srv] += job.SizeBytes
+
+			if delay != wantDelay {
+				t.Fatalf("ep %d job %d: delay = %v, shadow %v", ep, jobs, delay, wantDelay)
+			}
+			ideal := job.SizeBytes / rates[srv]
+			if want := delay / ideal; slow != want {
+				t.Fatalf("ep %d job %d: slowdown = %v, shadow %v", ep, jobs, slow, want)
+			}
+			if slow < 1-1e-9 {
+				t.Fatalf("ep %d job %d: slowdown %v below 1 (queueing cannot speed a job up)", ep, jobs, slow)
+			}
+			for i := range shadow {
+				if st.cluster.workBytes[i] != shadow[i] {
+					t.Fatalf("ep %d job %d: server %d work = %v, shadow %v",
+						ep, jobs, i, st.cluster.workBytes[i], shadow[i])
+				}
+				if shadow[i] < 0 {
+					t.Fatalf("ep %d job %d: server %d negative work %v", ep, jobs, i, shadow[i])
+				}
+				if gap := math.Abs(shadow[i] - (arrived[i] - drained[i])); gap > 1e-6*(arrived[i]+1) {
+					t.Fatalf("ep %d job %d: server %d conservation off by %v bytes (work=%v arrived=%v drained=%v)",
+						ep, jobs, i, gap, shadow[i], arrived[i], drained[i])
+				}
+			}
+			jobs++
+		}
+		if jobs != len(w.Jobs) {
+			t.Fatalf("ep %d: dispatched %d of %d jobs", ep, jobs, len(w.Jobs))
+		}
+	}
+}

@@ -1,0 +1,427 @@
+// Package metrics is the training telemetry layer of the repository: a
+// concurrency-safe Registry of counters, gauges, and histograms plus a
+// streaming JSON-lines event sink, all pure stdlib.
+//
+// The package is built around a "disabled by default, nearly free when
+// disabled" contract: the zero value of every handle — and in particular a
+// nil *Registry — is a valid no-op. Hot paths hold a possibly-nil *Registry
+// and guard event emission with Enabled(), which on the disabled path costs
+// one nil check (cheaper than an atomic load); instrument lookups and event
+// construction happen only inside the guard, so disabled callers allocate
+// nothing. See DESIGN.md "Telemetry & invariants" for the event schema and
+// the cost contract.
+//
+// Instruments are safe for concurrent use from any number of goroutines
+// (par.ForN workers included): counters and gauges are single atomics,
+// histograms use per-field atomics with CAS loops for the float fields.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry owns a namespace of instruments and an optional event sink. A nil
+// *Registry is the canonical "telemetry off" value: every method on it is a
+// no-op, so callers never need nil checks beyond Enabled() guards around
+// event emission.
+type Registry struct {
+	start time.Time
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	sink atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps the sink interface so it can live in an atomic.Pointer.
+type sinkBox struct{ s EventSink }
+
+// NewRegistry returns an enabled registry with no sink: instruments record,
+// and events are dropped until SetSink is called.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:      time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Enabled reports whether telemetry is collected at all. It is the guard hot
+// paths use around instrument lookups and event construction; on a nil
+// registry it is a single nil check.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// SetSink installs the event sink (nil removes it). Events emitted with no
+// sink installed are dropped.
+func (r *Registry) SetSink(s EventSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{s: s})
+}
+
+// Close flushes and closes the installed sink, if any.
+func (r *Registry) Close() error {
+	if r == nil {
+		return nil
+	}
+	if b := r.sink.Swap(nil); b != nil {
+		return b.s.Close()
+	}
+	return nil
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe: a
+// nil registry returns a nil counter whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// F is one event field: a named float64. Events carry fields as a flat list
+// so call sites stay allocation-free when guarded by Enabled().
+type F struct {
+	K string
+	V float64
+}
+
+// Emit streams one event to the sink. It is dropped when the registry is nil
+// or no sink is installed. Callers on hot paths must guard with Enabled() so
+// the variadic slice is never built on the disabled path.
+func (r *Registry) Emit(name string, fields ...F) {
+	r.EmitTagged(name, nil, fields...)
+}
+
+// EmitTagged is Emit with string-valued tags (run labels, experiment ids).
+func (r *Registry) EmitTagged(name string, tags map[string]string, fields ...F) {
+	if r == nil {
+		return
+	}
+	b := r.sink.Load()
+	if b == nil {
+		return
+	}
+	e := Event{TS: time.Since(r.start).Seconds(), Name: name, Tags: tags}
+	if len(fields) > 0 {
+		e.Fields = make(map[string]float64, len(fields))
+		for _, f := range fields {
+			e.Fields[f.K] = f.V
+		}
+	}
+	b.s.Emit(e)
+}
+
+// EmitSnapshot streams a final "snapshot" event carrying Snapshot() as its
+// payload — the closing line the cmd tools write to a run's metrics file so
+// the whole run can be summarized without replaying the stream.
+func (r *Registry) EmitSnapshot() {
+	if r == nil {
+		return
+	}
+	b := r.sink.Load()
+	if b == nil {
+		return
+	}
+	snap := r.Snapshot()
+	b.s.Emit(Event{TS: time.Since(r.start).Seconds(), Name: "snapshot", Summary: &snap})
+}
+
+// Timer measures one wall-clock span into a histogram (seconds). The zero
+// Timer — returned by StartTimer on a nil registry — is a no-op, so hot
+// paths can call StartTimer/Stop unconditionally.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing a span recorded into the named histogram on Stop.
+func (r *Registry) StartTimer(name string) Timer {
+	if r == nil {
+		return Timer{}
+	}
+	return Timer{h: r.Histogram(name), start: time.Now()}
+}
+
+// Stop records the elapsed seconds since StartTimer. No-op on a zero Timer.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(time.Since(t.start).Seconds())
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that holds its last set value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value (0 before any Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v with 2^(i-histZero-1) < v <= 2^(i-histZero); the
+// first and last buckets absorb under- and overflow. The range covers
+// 2^-32 (~2.3e-10, well under a nanosecond in seconds) to 2^31 (~68 years).
+const (
+	histBuckets = 64
+	histZero    = 32
+)
+
+// Histogram accumulates a distribution of float64 observations: count, sum,
+// min, max, and power-of-two buckets. All fields are atomics, so concurrent
+// Observe calls from parallel workers are safe and never block each other.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps v to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	e := math.Ceil(math.Log2(v))
+	// Clamp before the int conversion: int(+Inf) is platform-defined.
+	if e > float64(histBuckets) {
+		return histBuckets - 1
+	}
+	if e < -float64(histBuckets) {
+		return 0
+	}
+	i := int(e) + histZero
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets maps the bucket's inclusive upper bound (rendered as a
+	// power of two, e.g. "0.00390625") to its count; empty buckets are
+	// omitted.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: math.Float64frombits(h.sumBits.Load())}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.Mean = s.Sum / float64(s.Count)
+	s.Buckets = map[string]int64{}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			ub := math.Pow(2, float64(i-histZero))
+			s.Buckets[json.Number(formatFloat(ub)).String()] = n
+		}
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// Snapshot is a point-in-time dump of every instrument in a registry; it
+// marshals to the summary JSON the cmd tools write at exit.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. A nil registry
+// yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for k, h := range r.histograms {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteSnapshot writes the snapshot as indented JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the sorted instrument names of a snapshot (all kinds),
+// useful for stable test output and summaries.
+func (s Snapshot) Names() []string {
+	var names []string
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/genet-go/genet/internal/par"
+)
+
+// TestNilRegistryNoOps pins the disabled-path contract: every method on a
+// nil *Registry (and on the nil instruments it returns) is a safe no-op.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports Enabled")
+	}
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(2.0)
+	r.Emit("e", F{K: "x", V: 1})
+	r.EmitTagged("e", map[string]string{"a": "b"})
+	r.SetSink(NewJSONLSink(&bytes.Buffer{}))
+	tm := r.StartTimer("t")
+	tm.Stop()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %v", got)
+	}
+}
+
+func TestInstrumentsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("updates").Add(3)
+	r.Counter("updates").Inc()
+	r.Gauge("reward").Set(-1.25)
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.5, 1.5, 2.0, 0.25} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+
+	s := r.Snapshot()
+	if got := s.Counters["updates"]; got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if got := s.Gauges["reward"]; got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 4 || hs.Min != 0.25 || hs.Max != 2.0 {
+		t.Errorf("hist snapshot = %+v", hs)
+	}
+	if want := (0.5 + 1.5 + 2.0 + 0.25) / 4; math.Abs(hs.Mean-want) > 1e-15 {
+		t.Errorf("hist mean = %v, want %v", hs.Mean, want)
+	}
+	var total int64
+	for _, n := range hs.Buckets {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", total)
+	}
+
+	// The snapshot must be JSON round-trippable (cmd tools marshal it).
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Counters["updates"] != 4 {
+		t.Errorf("round-tripped counter = %d", back.Counters["updates"])
+	}
+	if got := s.Names(); len(got) != 3 {
+		t.Errorf("Names() = %v, want 3 entries", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, histZero},        // 2^-1 < 1 <= 2^0
+		{1.5, histZero + 1},  // <= 2^1
+		{0.25, histZero - 2}, // <= 2^-2
+		{math.Inf(1), histBuckets - 1},
+		{1e300, histBuckets - 1},
+		{1e-300, 0},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises concurrent instrument updates and event
+// emission from par.ForN workers; run with -race it is the telemetry
+// data-race check required by the CI race job.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.SetSink(NewJSONLSink(&buf))
+
+	const n = 2000
+	par.ForN(n, 8, func(i int) {
+		r.Counter("count").Inc()
+		r.Counter("sum").Add(int64(i))
+		r.Gauge("last").Set(float64(i))
+		r.Histogram("obs").Observe(float64(i%17) + 0.5)
+		if i%10 == 0 {
+			r.Emit("tick", F{K: "i", V: float64(i)})
+		}
+	})
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s := r.Snapshot()
+	if got := s.Counters["count"]; got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+	if got := s.Counters["sum"]; got != int64(n*(n-1)/2) {
+		t.Errorf("sum = %d, want %d", got, n*(n-1)/2)
+	}
+	hs := s.Histograms["obs"]
+	if hs.Count != n {
+		t.Errorf("hist count = %d, want %d", hs.Count, n)
+	}
+	if hs.Min != 0.5 || hs.Max != 16.5 {
+		t.Errorf("hist min/max = %v/%v, want 0.5/16.5", hs.Min, hs.Max)
+	}
+	// The histogram sum is an unordered float accumulation; with values of
+	// this magnitude the associativity error is far below 1e-6.
+	var wantSum float64
+	for i := 0; i < n; i++ {
+		wantSum += float64(i%17) + 0.5
+	}
+	if math.Abs(hs.Sum-wantSum) > 1e-6 {
+		t.Errorf("hist sum = %v, want %v", hs.Sum, wantSum)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("emitted stream does not parse: %v", err)
+	}
+	if len(events) != n/10 {
+		t.Errorf("got %d events, want %d", len(events), n/10)
+	}
+	for _, e := range events {
+		if e.Name != "tick" {
+			t.Fatalf("unexpected event %q", e.Name)
+		}
+		if _, ok := e.Fields["i"]; !ok {
+			t.Fatalf("event missing field: %+v", e)
+		}
+	}
+}
+
+func TestFileSinkAndReadEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	sink, err := FileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.SetSink(sink)
+	r.Emit("a", F{K: "x", V: 1})
+	r.EmitTagged("b", map[string]string{"run": "t7"}, F{K: "y", V: 2})
+	r.Emit("snapshot")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close must not error or panic.
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Name != "a" || events[0].Fields["x"] != 1 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Tags["run"] != "t7" || events[1].Fields["y"] != 2 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[0].TS > events[1].TS {
+		t.Errorf("timestamps not monotone: %v > %v", events[0].TS, events[1].TS)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.StartTimer("span")
+	tm.Stop()
+	hs := r.Snapshot().Histograms["span"]
+	if hs.Count != 1 {
+		t.Fatalf("timer recorded %d observations, want 1", hs.Count)
+	}
+	if hs.Sum < 0 {
+		t.Fatalf("negative elapsed time %v", hs.Sum)
+	}
+}
+
+// BenchmarkDisabledPath documents the cost contract: with a nil registry the
+// guarded emission pattern used on hot paths is a handful of nil checks and
+// must not allocate.
+func BenchmarkDisabledPath(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Enabled() {
+			r.Emit("rl/update", F{K: "loss", V: 1})
+		}
+		tm := r.StartTimer("span")
+		tm.Stop()
+	}
+}

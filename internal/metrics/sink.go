@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Event is one telemetry record: a monotonic timestamp in seconds since the
+// registry was created, a slash-namespaced name, numeric fields, and optional
+// string tags. Sinks serialize it as exactly one JSON object per line.
+type Event struct {
+	TS     float64            `json:"ts"`
+	Name   string             `json:"name"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+	Tags   map[string]string  `json:"tags,omitempty"`
+	// Summary carries a final Registry.Snapshot() when the event closes a
+	// run (name "snapshot"); nil for ordinary stream events.
+	Summary *Snapshot `json:"snapshot,omitempty"`
+}
+
+// EventSink consumes the event stream. Implementations must be safe for
+// concurrent Emit calls.
+type EventSink interface {
+	Emit(Event)
+	Close() error
+}
+
+// JSONLSink streams events as JSON lines to an io.Writer. Writes are
+// buffered and serialized by a mutex; encoding errors are sticky and
+// surfaced by Close.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer // closes the underlying file, if any
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines sink. If w is also an
+// io.Closer it is closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// FileSink creates (truncating) path and returns a JSON-lines sink over it.
+func FileSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Emit implements EventSink. json.Encoder.Encode terminates each record
+// with a newline, giving the one-object-per-line framing.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Close flushes buffered events and closes the underlying writer if it is a
+// Closer. It returns the first error seen across emits, flush, and close.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// ReadEvents parses a JSON-lines stream produced by a JSONLSink back into
+// events, for replaying a metrics file into a training curve (see DESIGN.md)
+// and for tests that assert on emitted telemetry.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,14 @@
+package nn
+
+// KernelName identifies the floating-point kernel path selected at process
+// start: "avx2-fma" when the runtime-dispatched SIMD kernels are active,
+// "scalar" otherwise. Results are bit-deterministic within one path but may
+// differ across paths at the ~1e-12 level, so artifacts pinned to exact
+// floats (golden determinism tests, serialized training runs) should record
+// which path produced them.
+func KernelName() string {
+	if useASM {
+		return "avx2-fma"
+	}
+	return "scalar"
+}

@@ -6,5 +6,5 @@ package nn
 
 var useASM = false
 
-func dotAsm(a, b []float64) float64         { panic("nn: no asm kernels on this platform") }
+func dotAsm(a, b []float64) float64           { panic("nn: no asm kernels on this platform") }
 func axpyAsm(dst, x []float64, alpha float64) { panic("nn: no asm kernels on this platform") }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
 )
@@ -57,6 +58,12 @@ type DiscreteAgent struct {
 	// value: the shard partition is fixed (see updateShardSize) and shards
 	// reduce in index order, so workers only changes who computes what.
 	UpdateWorkers int
+
+	// Metrics optionally receives per-update telemetry (loss, entropy, grad
+	// norm) and rollout/kernel/update time splits. Nil — the default — is
+	// free on the hot path: every metrics call is guarded or nil-safe, and
+	// telemetry never touches rng, so enabling it cannot perturb training.
+	Metrics *metrics.Registry
 
 	obsBuf []float64        // [n x ObsSize] packed batch observations
 	shards []*discreteShard // reusable per-shard gradient state
@@ -315,10 +322,12 @@ func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
 	a.vGrads.Zero()
 	shards := numShards(n)
 	a.ensureShards(shards)
+	kt := a.Metrics.StartTimer("rl/kernel_seconds")
 	par.ForN(shards, a.updateWorkers(), func(si int) {
 		start, end := shardBounds(si, n)
 		a.shards[si].run(a, batch, adv, returns, start, end, float64(n), cached)
 	})
+	kt.Stop()
 
 	var stats UpdateStats
 	for _, sh := range a.shards[:shards] {
@@ -337,6 +346,16 @@ func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
 	a.pOpt.Step(a.policy, a.pGrads)
 	a.vOpt.Step(a.value, a.vGrads)
 	a.paramsVersion++
+	if a.Metrics.Enabled() {
+		a.Metrics.Counter("rl/updates").Inc()
+		a.Metrics.Counter("rl/steps").Add(int64(n))
+		a.Metrics.Emit("rl/update",
+			metrics.F{K: "policy_loss", V: stats.PolicyLoss},
+			metrics.F{K: "value_loss", V: stats.ValueLoss},
+			metrics.F{K: "entropy", V: stats.Entropy},
+			metrics.F{K: "grad_norm", V: stats.GradNorm},
+			metrics.F{K: "steps", V: float64(n)})
+	}
 	return stats
 }
 
@@ -423,10 +442,12 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 	}
 	a.ensureCollectPool(numEnvs, perEnv)
 	batches := make([]*Batch, numEnvs)
+	rt := a.Metrics.StartTimer("rl/rollout_seconds")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
 		batches[i] = a.collectWith(a.collectPool[i], makeEnv(envRng), perEnv, envRng)
 	})
+	rt.Stop()
 	merged := &Batch{}
 	for _, b := range batches {
 		merged.Transitions = append(merged.Transitions, b.Transitions...)
@@ -434,7 +455,9 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 		merged.TotalReward += b.TotalReward
 	}
 	a.mergeCaches(merged, batches)
+	ut := a.Metrics.StartTimer("rl/update_seconds")
 	stats = a.Update(merged)
+	ut.Stop()
 	return merged.MeanEpisodeReward(), stats
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
 )
@@ -65,6 +66,10 @@ type GaussianAgent struct {
 	// pass (0 means GOMAXPROCS). Results are bit-identical for every value;
 	// see DiscreteAgent.UpdateWorkers.
 	UpdateWorkers int
+
+	// Metrics optionally receives per-update telemetry; nil (the default)
+	// is free on the hot path. See DiscreteAgent.Metrics.
+	Metrics *metrics.Registry
 
 	pGrads *nn.Grads
 	vGrads *nn.Grads
@@ -312,10 +317,12 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 			a.vGrads.Zero()
 			clear(a.sGrads)
 			shards := numShards(len(ids))
+			kt := a.Metrics.StartTimer("rl/kernel_seconds")
 			par.ForN(shards, a.updateWorkers(), func(si int) {
 				ss, se := shardBounds(si, len(ids))
 				a.shards[si].run(a, batch, ids, adv, returns, ss, se, bn)
 			})
+			kt.Stop()
 			for _, sh := range a.shards[:shards] {
 				a.pGrads.Add(sh.pGrads, 1)
 				a.vGrads.Add(sh.vGrads, 1)
@@ -325,11 +332,13 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 				stats.PolicyLoss += sh.stats.PolicyLoss
 				stats.ValueLoss += sh.stats.ValueLoss
 				stats.KL += sh.stats.KL
+				stats.ClipFrac += sh.stats.ClipFrac
 			}
 			if a.cfg.ClipNorm > 0 {
 				a.pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
 				a.vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
 			}
+			stats.GradNorm += a.pGrads.GlobalNorm()
 			a.pOpt.Step(a.policy, a.pGrads)
 			a.vOpt.Step(a.value, a.vGrads)
 			a.sOpt.step(a.logStd, a.sGrads)
@@ -344,10 +353,24 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 		stats.PolicyLoss /= updates
 		stats.ValueLoss /= updates
 		stats.KL /= updates
+		stats.ClipFrac /= updates
+		stats.GradNorm /= updates
 	}
 	std := a.Std()
 	for _, s := range std {
 		stats.Entropy += 0.5*math.Log(2*math.Pi*math.E) + math.Log(s)
+	}
+	if a.Metrics.Enabled() {
+		a.Metrics.Counter("rl/updates").Inc()
+		a.Metrics.Counter("rl/steps").Add(int64(n))
+		a.Metrics.Emit("rl/update",
+			metrics.F{K: "policy_loss", V: stats.PolicyLoss},
+			metrics.F{K: "value_loss", V: stats.ValueLoss},
+			metrics.F{K: "entropy", V: stats.Entropy},
+			metrics.F{K: "grad_norm", V: stats.GradNorm},
+			metrics.F{K: "approx_kl", V: stats.KL},
+			metrics.F{K: "clip_frac", V: stats.ClipFrac},
+			metrics.F{K: "steps", V: float64(n)})
 	}
 	return stats
 }
@@ -380,6 +403,9 @@ func (sh *gaussianShard) run(a *GaussianAgent, batch *Batch, ids []int, adv, ret
 		// through r only when unclipped (or when clipping is inactive
 		// for this sign of A).
 		clipped := ratio < 1-a.cfg.ClipEps || ratio > 1+a.cfg.ClipEps
+		if clipped {
+			sh.stats.ClipFrac += 1 / bn
+		}
 		active := !clipped || (adv[i] > 0 && ratio < 1) || (adv[i] < 0 && ratio > 1)
 		surr := math.Min(ratio*adv[i], clampF(ratio, 1-a.cfg.ClipEps, 1+a.cfg.ClipEps)*adv[i])
 		sh.stats.PolicyLoss += -surr / bn
@@ -431,17 +457,21 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 		seeds[i] = rng.Int63()
 	}
 	batches := make([]*Batch, numEnvs)
+	rt := a.Metrics.StartTimer("rl/rollout_seconds")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
 		batches[i] = a.Collect(makeEnv(envRng), perEnv, envRng)
 	})
+	rt.Stop()
 	merged := &Batch{}
 	for _, b := range batches {
 		merged.Transitions = append(merged.Transitions, b.Transitions...)
 		merged.Episodes += b.Episodes
 		merged.TotalReward += b.TotalReward
 	}
+	ut := a.Metrics.StartTimer("rl/update_seconds")
 	stats = a.Update(merged, rng)
+	ut.Stop()
 	return merged.MeanEpisodeReward(), stats
 }
 

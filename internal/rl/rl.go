@@ -146,6 +146,7 @@ type UpdateStats struct {
 	Entropy    float64
 	GradNorm   float64
 	KL         float64 // approximate KL(old || new), PPO only
+	ClipFrac   float64 // fraction of samples with a clipped ratio, PPO only
 }
 
 // categoricalSample draws an index from the probability vector probs.

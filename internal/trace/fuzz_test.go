@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The hint-carrying lookups exist purely as an optimization; their contract
+// is bit-identical results to the naive forms for *any* hint value and any
+// query order. These fuzz targets drive arbitrary cursor sequences —
+// in-order replay, backwards jumps, times before the trace start and past
+// its end, and corrupted hints — against the naive reference. The seed
+// corpus below runs as part of every regular `go test`.
+
+// fuzzTrace derives a valid random trace from a seed. Every fourth seed
+// yields a single-point trace (zero duration), the degenerate case the
+// wrapped lookup must special-case.
+func fuzzTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(40)
+	if seed%4 == 0 {
+		n = 1
+	}
+	tr := &Trace{
+		Timestamps: make([]float64, n),
+		Bandwidth:  make([]float64, n),
+	}
+	ts := rng.Float64() * 3
+	for i := 0; i < n; i++ {
+		tr.Timestamps[i] = ts
+		ts += 0.01 + rng.ExpFloat64()
+		// Repeated bandwidth values keep plateau edges in play.
+		tr.Bandwidth[i] = float64(rng.Intn(20)) * 1.5
+	}
+	return tr
+}
+
+// queryTime maps one fuzz byte onto a query time spanning from well before
+// the trace start to several durations past its end.
+func queryTime(tr *Trace, b byte) float64 {
+	span := tr.Duration() + 2
+	return tr.Timestamps[0] + (float64(b)/255*4-1)*span
+}
+
+func FuzzAtHint(f *testing.F) {
+	f.Add(int64(1), []byte{0, 128, 255, 3, 77, 200, 10})
+	f.Add(int64(4), []byte{255, 0, 255, 0})             // single-point trace
+	f.Add(int64(42), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}) // slow in-order walk
+	f.Add(int64(-9), []byte{250, 249, 0, 250})          // backwards jumps
+	f.Add(int64(7), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, queries []byte) {
+		tr := fuzzTrace(seed)
+		n := len(tr.Timestamps)
+		hint := 0
+		for i, b := range queries {
+			ts := queryTime(tr, b)
+			want := tr.At(ts)
+			got, nh := tr.AtHint(ts, hint)
+			if got != want {
+				t.Fatalf("query %d: AtHint(%v, carried %d) = %v, At = %v", i, ts, hint, got, want)
+			}
+			if nh < 0 || nh >= n {
+				t.Fatalf("query %d: AtHint returned hint %d outside [0, %d)", i, nh, n)
+			}
+			hint = nh
+			// A corrupted hint — negative, past the end, or pointing at an
+			// arbitrary sample — must not change the result.
+			corrupt := int(b)*7 - 300 + i
+			if got, _ := tr.AtHint(ts, corrupt); got != want {
+				t.Fatalf("query %d: AtHint(%v, corrupt %d) = %v, At = %v", i, ts, corrupt, got, want)
+			}
+		}
+	})
+}
+
+func FuzzAtWrappedHint(f *testing.F) {
+	f.Add(int64(1), []byte{0, 128, 255, 3, 77, 200, 10})
+	f.Add(int64(4), []byte{255, 0, 255, 0}) // single-point trace, d == 0
+	f.Add(int64(42), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(int64(-9), []byte{250, 249, 0, 250})
+	f.Add(int64(13), []byte{0, 255, 0, 255, 128})
+	f.Fuzz(func(t *testing.T, seed int64, queries []byte) {
+		tr := fuzzTrace(seed)
+		d := tr.Duration()
+		hint := 0
+		for i, b := range queries {
+			// Wider range than FuzzAtHint: many wraps in both directions.
+			ts := tr.Timestamps[0] + (float64(b)/255*8-4)*(d+1)
+			// Naive reference: fold into the trace span, then naive At.
+			want := tr.At(ts)
+			if d > 0 {
+				off := math.Mod(ts-tr.Timestamps[0], d)
+				if off < 0 {
+					off += d
+				}
+				want = tr.At(tr.Timestamps[0] + off)
+			}
+			got, nh := tr.AtWrappedHint(ts, hint)
+			if got != want {
+				t.Fatalf("query %d: AtWrappedHint(%v, carried %d) = %v, naive = %v", i, ts, hint, got, want)
+			}
+			hint = nh
+			corrupt := 1000 - int(b)*11 + i
+			if got, _ := tr.AtWrappedHint(ts, corrupt); got != want {
+				t.Fatalf("query %d: AtWrappedHint(%v, corrupt %d) = %v, naive = %v", i, ts, corrupt, got, want)
+			}
+			if got := tr.AtWrapped(ts); got != want {
+				t.Fatalf("query %d: AtWrapped(%v) = %v, naive = %v", i, ts, got, want)
+			}
+		}
+	})
+}

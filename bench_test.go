@@ -1,12 +1,15 @@
 package genet
 
 import (
+	"bytes"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"github.com/genet-go/genet/internal/abr"
 	"github.com/genet-go/genet/internal/bo"
 	"github.com/genet-go/genet/internal/cc"
+	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/experiments"
 	"github.com/genet-go/genet/internal/lb"
@@ -289,6 +292,81 @@ func BenchmarkBOSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bo.Maximize(f, bo.Options{Dims: 6, Steps: 15}, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointWrite times one atomic checkpoint write (agent state
+// capture + container encode + temp/sync/rename) for an ABR-sized agent —
+// the per-round persistence cost a checkpointed training run pays.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, 6), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var state bytes.Buffer
+		if err := agent.SaveState(&state); err != nil {
+			b.Fatal(err)
+		}
+		w := ckpt.NewWriter()
+		if err := w.Add("agent", state.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AddGob("rng", ckpt.RandState{Seed: 13, Count: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRead times parsing a checkpoint (CRC verification
+// included) and restoring the agent from its state section — the fixed cost
+// of a resume.
+func BenchmarkCheckpointRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, 6), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var state bytes.Buffer
+	if err := agent.SaveState(&state); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	w := ckpt.NewWriter()
+	if err := w.Add("agent", state.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AddGob("rng", ckpt.RandState{Seed: 13}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := ckpt.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec, err := f.Section("agent")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rl.LoadDiscreteAgentState(bytes.NewReader(sec)); err != nil {
+			b.Fatal(err)
+		}
+		var rst ckpt.RandState
+		if err := f.Gob("rng", &rst); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/rl"
@@ -107,6 +110,83 @@ func runMicro(outPath string) error {
 				b.StopTimer()
 				bt = agent.Collect(e, 200, rng)
 				b.StartTimer()
+			}
+		}},
+		{"CheckpointWrite", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(13))
+			agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, actions), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir, err := os.MkdirTemp("", "genet-micro")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "bench.ckpt")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var state bytes.Buffer
+				if err := agent.SaveState(&state); err != nil {
+					b.Fatal(err)
+				}
+				w := ckpt.NewWriter()
+				if err := w.Add("agent", state.Bytes()); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.AddGob("rng", ckpt.RandState{Seed: 13, Count: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.WriteFile(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CheckpointRead", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(13))
+			agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, actions), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var state bytes.Buffer
+			if err := agent.SaveState(&state); err != nil {
+				b.Fatal(err)
+			}
+			dir, err := os.MkdirTemp("", "genet-micro")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "bench.ckpt")
+			w := ckpt.NewWriter()
+			if err := w.Add("agent", state.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.AddGob("rng", ckpt.RandState{Seed: 13}); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := ckpt.ReadFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec, err := f.Section("agent")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rl.LoadDiscreteAgentState(bytes.NewReader(sec)); err != nil {
+					b.Fatal(err)
+				}
+				var rst ckpt.RandState
+				if err := f.Gob("rng", &rst); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"RLTrainIterationABR", func(b *testing.B) {

@@ -13,11 +13,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/genet-go/genet/internal/abr"
 	"github.com/genet-go/genet/internal/cc"
+	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/core"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/metrics"
@@ -35,6 +38,9 @@ func main() {
 		outPath  = flag.String("o", "", "output model file (required)")
 		baseName = flag.String("baseline", "", "rule-based baseline override (abr: mpc|bba; cc: bbr|cubic; lb: llf)")
 		metPath  = flag.String("metrics", "", "stream JSON-lines training telemetry to this file (closing line is a summary snapshot)")
+		ckPath   = flag.String("checkpoint", "", "write a resumable training checkpoint to this file (atomic; curriculum strategies only)")
+		ckEvery  = flag.Int("checkpoint-every", 1, "rounds between checkpoint writes")
+		resume   = flag.String("resume", "", "resume a curriculum run from this checkpoint file (keeps checkpointing to it unless -checkpoint overrides)")
 	)
 	flag.Parse()
 	if *outPath == "" {
@@ -64,7 +70,10 @@ func main() {
 		}()
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	// The run's single random stream is position-serializable so checkpoints
+	// capture it exactly; crng.Rand is a plain *rand.Rand for call sites.
+	crng := ckpt.NewRand(*seed)
+	rng := crng.Rand
 	level := env.RL3
 	switch strings.ToLower(*strategy) {
 	case "rl1":
@@ -82,6 +91,9 @@ func main() {
 	start := time.Now()
 	switch strings.ToLower(*strategy) {
 	case "rl1", "rl2", "rl3":
+		if *ckPath != "" || *resume != "" {
+			fatal(fmt.Errorf("-checkpoint/-resume require a curriculum strategy (genet|cl2|cl3); %s has no safe points", *strategy))
+		}
 		total := *rounds * *iters
 		fmt.Fprintf(os.Stderr, "training traditional %s on %s for %d iterations...\n", *strategy, *useCase, total)
 		curve := core.TrainTraditional(h, total, rng)
@@ -106,12 +118,35 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "training %s on %s: %d rounds x %d iterations...\n", *strategy, *useCase, *rounds, *iters)
-		rep, err := core.NewTrainer(h, opts).Run(rng)
+		var rep *core.Report
+		if *ckPath == "" && *resume == "" {
+			rep, err = core.NewTrainer(h, opts).Run(rng)
+		} else {
+			path := *ckPath
+			if path == "" {
+				path = *resume
+			}
+			co := core.CheckpointOptions{Path: path, Every: *ckEvery, Stop: interruptFlag(path)}
+			if *resume != "" {
+				fmt.Fprintf(os.Stderr, "resuming from %s...\n", *resume)
+				rep, err = core.ResumeTrainer(h, opts, *resume, co)
+			} else {
+				rep, err = core.NewTrainer(h, opts).RunCheckpointed(crng, co)
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
 		for _, r := range rep.Rounds {
 			fmt.Fprintf(os.Stderr, "round %d: promoted [%s] score=%.3f\n", r.Round, r.Promoted, r.Score)
+		}
+		if rep.Interrupted {
+			ckFile := *ckPath
+			if ckFile == "" {
+				ckFile = *resume
+			}
+			fmt.Fprintf(os.Stderr, "interrupted after %d/%d rounds; continue with -resume %s\n",
+				len(rep.Rounds), *rounds, ckFile)
 		}
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
@@ -180,6 +215,26 @@ func saveModel(h core.Harness, f *os.File) error {
 		return hh.Agent.Save(f)
 	}
 	return fmt.Errorf("unknown harness type %T", h)
+}
+
+// interruptFlag installs a SIGINT handler and returns the stop predicate the
+// trainer polls at safe points. The first ^C requests a graceful stop — the
+// trainer finishes the round in flight, writes the checkpoint atomically,
+// and exits — so a mid-run interrupt always leaves path loadable, never a
+// torn file. A second ^C aborts immediately (the previous complete
+// checkpoint survives, thanks to write-to-temp-then-rename).
+func interruptFlag(path string) func() bool {
+	var requested atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "\ngenet-train: interrupt: stopping at next safe point and checkpointing to %s (^C again to abort)\n", path)
+		requested.Store(true)
+		<-sigc
+		os.Exit(130)
+	}()
+	return requested.Load
 }
 
 func fatal(err error) {

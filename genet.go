@@ -18,6 +18,7 @@ package genet
 import (
 	"math/rand"
 
+	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/core"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/trace"
@@ -49,6 +50,17 @@ type (
 	LBHarness = core.LBHarness
 	// SearchKind selects the environment-space searcher.
 	SearchKind = core.SearchKind
+	// CheckpointOptions configure crash-safe checkpointing of a run.
+	CheckpointOptions = core.CheckpointOptions
+	// AgentStateHarness is implemented by harnesses whose full agent
+	// training state (weights and optimizer moments) can be captured and
+	// restored losslessly.
+	AgentStateHarness = core.AgentStateHarness
+	// Rand is a *rand.Rand whose stream position is serializable, for use
+	// with checkpointed runs.
+	Rand = ckpt.Rand
+	// RandState is the persisted position of a Rand stream.
+	RandState = ckpt.RandState
 )
 
 // Evaluation need flags.
@@ -91,6 +103,21 @@ func NewLBHarness(space *Space, rng *rand.Rand) (*LBHarness, error) {
 // curriculum, for the given number of iterations.
 func TrainTraditional(h Harness, iters int, rng *rand.Rand) []float64 {
 	return core.TrainTraditional(h, iters, rng)
+}
+
+// NewRand returns a seeded Rand whose stream position is serializable, so a
+// checkpoint captures exactly where the run's random stream stands.
+func NewRand(seed int64) *Rand { return ckpt.NewRand(seed) }
+
+// RestoreRand rebuilds a Rand positioned exactly where st was captured.
+func RestoreRand(st RandState) *Rand { return ckpt.RestoreRand(st) }
+
+// ResumeTrainer builds a trainer over h and opts and continues the run
+// stored in the checkpoint at path, checkpointing onward per co. The
+// returned report covers the whole run, including rounds completed before
+// the interruption.
+func ResumeTrainer(h Harness, opts Options, path string, co CheckpointOptions) (*Report, error) {
+	return core.ResumeTrainer(h, opts, path, co)
 }
 
 // GapToBaselineObjective is Genet's promotion criterion.

@@ -2,6 +2,7 @@ package genet
 
 import (
 	"math/rand"
+	"path/filepath"
 	"testing"
 )
 
@@ -51,6 +52,40 @@ func TestFacadeEndToEnd(t *testing.T) {
 	curve := TrainTraditional(h, 2, rng)
 	if len(curve) != 2 {
 		t.Fatalf("traditional curve = %d", len(curve))
+	}
+}
+
+// TestFacadeCheckpointResume drives the checkpoint workflow end to end
+// through the facade only: run with checkpointing, stop early, resume from
+// the file in a fresh harness, and finish the curriculum.
+func TestFacadeCheckpointResume(t *testing.T) {
+	opts := Options{Rounds: 2, ItersPerRound: 1, BOSteps: 2, EnvsPerEval: 1, WarmupIters: 1}
+	mk := func() *ABRHarness {
+		h, err := NewABRHarness(ABRSpace(RL1), rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.EnvsPerIter, h.StepsPerIter = 2, 40
+		return h
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	polls := 0
+	rep, err := NewTrainer(mk(), opts).RunCheckpointed(NewRand(6), CheckpointOptions{
+		Path: path,
+		Stop: func() bool { polls++; return polls >= 2 }, // stop after round 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted || len(rep.Rounds) != 1 {
+		t.Fatalf("interrupted=%v rounds=%d, want true/1", rep.Interrupted, len(rep.Rounds))
+	}
+	final, err := ResumeTrainer(mk(), opts, path, CheckpointOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Interrupted || len(final.Rounds) != opts.Rounds {
+		t.Fatalf("interrupted=%v rounds=%d, want false/%d", final.Interrupted, len(final.Rounds), opts.Rounds)
 	}
 }
 

@@ -1,0 +1,39 @@
+package bo
+
+// Clone returns a deep copy of the trace. Reports and checkpoints hold
+// cloned traces so a searcher reusing its evaluation buffers cannot mutate
+// history after the fact.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	c := &Trace{Evals: make([]Result, len(t.Evals))}
+	for i, r := range t.Evals {
+		c.Evals[i] = Result{X: append([]float64(nil), r.X...), Value: r.Value}
+	}
+	return c
+}
+
+// Equal reports whether two traces record identical evaluations — the
+// resume-determinism tests use it to check that a restored run replays the
+// exact search history an uninterrupted run produces.
+func (t *Trace) Equal(o *Trace) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if len(t.Evals) != len(o.Evals) {
+		return false
+	}
+	for i, r := range t.Evals {
+		s := o.Evals[i]
+		if r.Value != s.Value || len(r.X) != len(s.X) {
+			return false
+		}
+		for j := range r.X {
+			if r.X[j] != s.X[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

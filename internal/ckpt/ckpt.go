@@ -1,0 +1,283 @@
+// Package ckpt implements the crash-safe checkpoint container used by the
+// curriculum trainer: a versioned, self-describing binary format holding
+// named sections (agent state, trainer position, BO history, RNG state),
+// written atomically so an interrupted run never leaves a torn file behind.
+//
+// Layout (all integers little-endian):
+//
+//	magic    [8]byte  "GENETCKP"
+//	version  uint32   format version (currently 1)
+//	count    uint32   number of sections
+//	table    count ×  { nameLen uint16, name []byte, payloadLen uint64, crc32 uint32 }
+//	payloads          section payloads concatenated in table order
+//
+// The section table is self-describing: readers can enumerate sections
+// without knowing their meaning, unknown sections are skipped, and every
+// payload carries an IEEE CRC-32 so truncated or corrupted files fail with a
+// clear error instead of deserializing garbage. Files are written to a
+// temporary sibling and atomically renamed into place, so a crash mid-write
+// leaves either the previous checkpoint or none — never a partial one.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the current container format version.
+const FormatVersion = 1
+
+var magic = [8]byte{'G', 'E', 'N', 'E', 'T', 'C', 'K', 'P'}
+
+// maxSectionName bounds section-name length in the wire format (uint16).
+const maxSectionName = 1 << 16
+
+// maxSections bounds the table size a reader will accept, rejecting
+// obviously corrupt headers before allocating.
+const maxSections = 1 << 20
+
+type section struct {
+	name    string
+	payload []byte
+}
+
+// Writer accumulates named sections and serializes them as one checkpoint.
+type Writer struct {
+	sections []section
+	index    map[string]int
+}
+
+// NewWriter returns an empty checkpoint writer.
+func NewWriter() *Writer {
+	return &Writer{index: make(map[string]int)}
+}
+
+// Add appends (or replaces) a named section. The payload is aliased, not
+// copied; callers must not mutate it before the checkpoint is written.
+func (w *Writer) Add(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("ckpt: empty section name")
+	}
+	if len(name) >= maxSectionName {
+		return fmt.Errorf("ckpt: section name %q too long", name[:32]+"...")
+	}
+	if i, ok := w.index[name]; ok {
+		w.sections[i].payload = payload
+		return nil
+	}
+	w.index[name] = len(w.sections)
+	w.sections = append(w.sections, section{name: name, payload: payload})
+	return nil
+}
+
+// AddGob gob-encodes v into a new section.
+func (w *Writer) AddGob(name string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("ckpt: encode section %q: %w", name, err)
+	}
+	return w.Add(name, buf.Bytes())
+}
+
+// WriteTo serializes the checkpoint. It implements io.WriterTo.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	var head bytes.Buffer
+	head.Write(magic[:])
+	le := binary.LittleEndian
+	var u32 [4]byte
+	le.PutUint32(u32[:], FormatVersion)
+	head.Write(u32[:])
+	le.PutUint32(u32[:], uint32(len(w.sections)))
+	head.Write(u32[:])
+	for _, s := range w.sections {
+		var u16 [2]byte
+		le.PutUint16(u16[:], uint16(len(s.name)))
+		head.Write(u16[:])
+		head.WriteString(s.name)
+		var u64 [8]byte
+		le.PutUint64(u64[:], uint64(len(s.payload)))
+		head.Write(u64[:])
+		le.PutUint32(u32[:], crc32.ChecksumIEEE(s.payload))
+		head.Write(u32[:])
+	}
+	n, err := out.Write(head.Bytes())
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range w.sections {
+		n, err := out.Write(s.payload)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteFile atomically persists the checkpoint at path: the bytes are
+// written to a temporary file in the same directory, synced, and renamed
+// over path. Readers concurrently opening path see either the old complete
+// checkpoint or the new one, never a torn mix.
+func (w *Writer) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := w.WriteTo(tmp); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: rename into place: %w", err)
+	}
+	return nil
+}
+
+// File is a parsed checkpoint: an ordered set of named, CRC-verified
+// sections.
+type File struct {
+	version  uint32
+	names    []string
+	sections map[string][]byte
+}
+
+// Version returns the container format version the file was written with.
+func (f *File) Version() uint32 { return f.version }
+
+// Sections returns the section names in file order.
+func (f *File) Sections() []string { return append([]string(nil), f.names...) }
+
+// Has reports whether a named section exists.
+func (f *File) Has(name string) bool {
+	_, ok := f.sections[name]
+	return ok
+}
+
+// Section returns a named section's payload.
+func (f *File) Section(name string) ([]byte, error) {
+	p, ok := f.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: no section %q (have %v)", name, f.names)
+	}
+	return p, nil
+}
+
+// Gob decodes a named section into v.
+func (f *File) Gob(name string, v any) error {
+	p, err := f.Section(name)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("ckpt: decode section %q: %w", name, err)
+	}
+	return nil
+}
+
+// Read parses a checkpoint stream, verifying the magic, version, and every
+// section CRC. Truncated streams fail with a wrapped io.ErrUnexpectedEOF.
+func Read(r io.Reader) (*File, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: read header: %w", noEOF(err))
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("ckpt: bad magic %q (not a checkpoint file)", hdr[:8])
+	}
+	le := binary.LittleEndian
+	version := le.Uint32(hdr[8:12])
+	if version == 0 || version > FormatVersion {
+		return nil, fmt.Errorf("ckpt: unsupported format version %d (this build reads <= %d)", version, FormatVersion)
+	}
+	count := le.Uint32(hdr[12:16])
+	if count > maxSections {
+		return nil, fmt.Errorf("ckpt: corrupt header: %d sections", count)
+	}
+	type entry struct {
+		name string
+		size uint64
+		crc  uint32
+	}
+	entries := make([]entry, count)
+	for i := range entries {
+		var u16 [2]byte
+		if _, err := io.ReadFull(r, u16[:]); err != nil {
+			return nil, fmt.Errorf("ckpt: read section table: %w", noEOF(err))
+		}
+		nameLen := le.Uint16(u16[:])
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("ckpt: read section table: %w", noEOF(err))
+		}
+		var tail [12]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return nil, fmt.Errorf("ckpt: read section table: %w", noEOF(err))
+		}
+		entries[i] = entry{
+			name: string(name),
+			size: le.Uint64(tail[:8]),
+			crc:  le.Uint32(tail[8:12]),
+		}
+	}
+	f := &File{version: version, sections: make(map[string][]byte, count)}
+	for _, e := range entries {
+		payload := make([]byte, e.size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("ckpt: section %q truncated: %w", e.name, noEOF(err))
+		}
+		if got := crc32.ChecksumIEEE(payload); got != e.crc {
+			return nil, fmt.Errorf("ckpt: section %q CRC mismatch (file corrupt)", e.name)
+		}
+		if _, dup := f.sections[e.name]; dup {
+			return nil, fmt.Errorf("ckpt: duplicate section %q", e.name)
+		}
+		f.names = append(f.names, e.name)
+		f.sections[e.name] = payload
+	}
+	return f, nil
+}
+
+// ReadFile parses the checkpoint at path.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	f, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return f, nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a fixed-layout
+// container every early EOF is a truncation.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

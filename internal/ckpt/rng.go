@@ -1,0 +1,89 @@
+package ckpt
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandState is the serializable position of a Rand: the seed it was created
+// with and the number of draws consumed from the underlying source. The pair
+// identifies the stream position exactly, so a restored Rand replays the
+// same random sequence the original would have produced.
+type RandState struct {
+	Seed  int64
+	Count uint64
+}
+
+// Source wraps the standard library generator and counts every draw, making
+// the stream position serializable as (seed, count). It implements
+// rand.Source64.
+type Source struct {
+	seed  int64
+	count uint64
+	inner rand.Source64
+}
+
+// NewSource returns a counting source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, inner: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.count++
+	return s.inner.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.count++
+	return s.inner.Uint64()
+}
+
+// Seed implements rand.Source, resetting the stream position.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.count = 0
+	s.inner.Seed(seed)
+}
+
+// State returns the current stream position.
+func (s *Source) State() RandState { return RandState{Seed: s.seed, Count: s.count} }
+
+// Rand is a *rand.Rand whose stream position can be captured with State and
+// reproduced with RestoreRand. All the usual rand.Rand methods are promoted;
+// pass r.Rand where a plain *rand.Rand is expected — draws through either
+// handle advance the same counted source.
+type Rand struct {
+	*rand.Rand
+	src *Source
+}
+
+// NewRand returns a position-serializable Rand seeded with seed.
+func NewRand(seed int64) *Rand {
+	src := NewSource(seed)
+	return &Rand{Rand: rand.New(src), src: src}
+}
+
+// State returns the Rand's current stream position.
+func (r *Rand) State() RandState { return r.src.State() }
+
+// RestoreRand reconstructs a Rand at the given stream position by reseeding
+// and fast-forwarding count draws. Each skipped draw is a few nanoseconds;
+// even runs that consumed hundreds of millions of draws restore in well
+// under a second. Both Int63 and Uint64 advance the underlying generator by
+// exactly one step, so replaying with Uint64 alone reproduces the state
+// regardless of which methods the original run mixed.
+func RestoreRand(st RandState) *Rand {
+	r := NewRand(st.Seed)
+	for i := uint64(0); i < st.Count; i++ {
+		r.src.inner.Uint64()
+	}
+	r.src.count = st.Count
+	return r
+}
+
+// String renders the position for logs.
+func (st RandState) String() string {
+	return fmt.Sprintf("seed=%d count=%d", st.Seed, st.Count)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"github.com/genet-go/genet/internal/rl"
+)
+
+// AgentStateHarness is implemented by harnesses whose RL model supports
+// lossless state capture (networks plus optimizer moments and counters). It
+// is a separate optional interface — like MetricsSetter — so third-party
+// Harness implementations keep compiling; the checkpoint subsystem requires
+// it and reports a clear error for harnesses that lack it.
+type AgentStateHarness interface {
+	// SaveAgentState writes the agent's complete training state.
+	SaveAgentState(w io.Writer) error
+	// LoadAgentState replaces the agent with the state read from r. The
+	// restored configuration must match the harness's current agent;
+	// runtime-only knobs (metrics sink, worker count) carry over from the
+	// replaced agent.
+	LoadAgentState(r io.Reader) error
+}
+
+// replaceDiscreteAgent swaps *cur for the agent state in r after checking
+// the configs agree, carrying over the runtime-only fields.
+func replaceDiscreteAgent(cur **rl.DiscreteAgent, r io.Reader) error {
+	loaded, err := rl.LoadDiscreteAgentState(r)
+	if err != nil {
+		return err
+	}
+	old := *cur
+	if !reflect.DeepEqual(loaded.Config(), old.Config()) {
+		return fmt.Errorf("core: checkpointed agent config %+v does not match harness config %+v",
+			loaded.Config(), old.Config())
+	}
+	loaded.Metrics = old.Metrics
+	loaded.UpdateWorkers = old.UpdateWorkers
+	*cur = loaded
+	return nil
+}
+
+// replaceGaussianAgent is replaceDiscreteAgent for the continuous-control
+// agent.
+func replaceGaussianAgent(cur **rl.GaussianAgent, r io.Reader) error {
+	loaded, err := rl.LoadGaussianAgentState(r)
+	if err != nil {
+		return err
+	}
+	old := *cur
+	if !reflect.DeepEqual(loaded.Config(), old.Config()) {
+		return fmt.Errorf("core: checkpointed agent config %+v does not match harness config %+v",
+			loaded.Config(), old.Config())
+	}
+	loaded.Metrics = old.Metrics
+	loaded.UpdateWorkers = old.UpdateWorkers
+	*cur = loaded
+	return nil
+}
+
+// SaveAgentState implements AgentStateHarness.
+func (h *ABRHarness) SaveAgentState(w io.Writer) error { return h.Agent.SaveState(w) }
+
+// LoadAgentState implements AgentStateHarness.
+func (h *ABRHarness) LoadAgentState(r io.Reader) error {
+	return replaceDiscreteAgent(&h.Agent, r)
+}
+
+// SaveAgentState implements AgentStateHarness.
+func (h *LBHarness) SaveAgentState(w io.Writer) error { return h.Agent.SaveState(w) }
+
+// LoadAgentState implements AgentStateHarness.
+func (h *LBHarness) LoadAgentState(r io.Reader) error {
+	return replaceDiscreteAgent(&h.Agent, r)
+}
+
+// SaveAgentState implements AgentStateHarness.
+func (h *CCHarness) SaveAgentState(w io.Writer) error { return h.Agent.SaveState(w) }
+
+// LoadAgentState implements AgentStateHarness.
+func (h *CCHarness) LoadAgentState(r io.Reader) error {
+	return replaceGaussianAgent(&h.Agent, r)
+}

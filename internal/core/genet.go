@@ -184,6 +184,10 @@ type RoundReport struct {
 	Score        float64   // objective value of the promoted config
 	SearchEvals  int       // environment-space points evaluated
 	TrainRewards []float64 // per-iteration training rewards after promotion
+	// Search is the full environment-space search history of this round
+	// (every evaluated point with its objective value). Heuristic
+	// curricula, which do not search, leave it nil.
+	Search *bo.Trace
 }
 
 // Report is the outcome of a Genet run.
@@ -192,6 +196,24 @@ type Report struct {
 	WarmupCurve  []float64
 	Rounds       []RoundReport
 	Distribution *env.Distribution
+	// Interrupted is true when a checkpointed run returned early because
+	// its stop condition fired; the written checkpoint resumes it.
+	Interrupted bool
+}
+
+// Best returns the round whose promoted configuration scored highest, or
+// false when no rounds have completed.
+func (r *Report) Best() (RoundReport, bool) {
+	if len(r.Rounds) == 0 {
+		return RoundReport{}, false
+	}
+	best := r.Rounds[0]
+	for _, round := range r.Rounds[1:] {
+		if round.Score > best.Score {
+			best = round
+		}
+	}
+	return best, true
 }
 
 // TrainingCurve concatenates warm-up and per-round training rewards.
@@ -231,28 +253,58 @@ func (t *Trainer) Options() Options { return t.opts }
 //     training distribution with weight w, and train ItersPerRound more
 //     iterations.
 func (t *Trainer) Run(rng *rand.Rand) (*Report, error) {
+	return t.runLoop(t.newRunState(), rng, nil)
+}
+
+// runState is the trainer's complete resumable position: the report
+// accumulated so far (whose Rounds length is the resume cursor) and whether
+// warm-up has completed. Checkpoints serialize it alongside the agent state
+// and the rng position.
+type runState struct {
+	rep        *Report
+	warmupDone bool
+}
+
+func (t *Trainer) newRunState() *runState {
 	rep := &Report{
 		Strategy:     t.opts.Objective.Name,
 		Distribution: env.NewDistribution(t.h.Space()),
 	}
 	rep.Distribution.SetExplorationFloor(t.opts.ExplorationFloor)
+	return &runState{rep: rep}
+}
+
+// runLoop executes the curriculum from wherever st points. A fresh state
+// starts at warm-up; a restored one re-enters the round loop at
+// len(rep.Rounds). ck (nil for plain runs) persists the state at safe
+// points — positions where no partial round is in flight — and may stop the
+// run early.
+func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Report, error) {
+	rep := st.rep
 	m := t.opts.Metrics
-	if m.Enabled() {
-		// Phase -1 is warm-up; rounds count from 0.
-		m.Gauge("curriculum/phase").Set(-1)
-		m.Emit("curriculum/phase", metrics.F{K: "round", V: -1})
+	if !st.warmupDone {
+		if m.Enabled() {
+			// Phase -1 is warm-up; rounds count from 0.
+			m.Gauge("curriculum/phase").Set(-1)
+			m.Emit("curriculum/phase", metrics.F{K: "round", V: -1})
+		}
+		if t.opts.WarmupIters > 0 {
+			rep.WarmupCurve = t.h.Train(rep.Distribution, t.opts.WarmupIters, rng)
+		}
+		st.warmupDone = true
+		if t.opts.AfterRound != nil {
+			t.opts.AfterRound(-1)
+		}
+		if stop, err := ck.safePoint(t, st, -1); err != nil || stop {
+			return rep, err
+		}
 	}
-	if t.opts.WarmupIters > 0 {
-		rep.WarmupCurve = t.h.Train(rep.Distribution, t.opts.WarmupIters, rng)
-	}
-	if t.opts.AfterRound != nil {
-		t.opts.AfterRound(-1)
-	}
-	for round := 0; round < t.opts.Rounds; round++ {
-		cfg, score, evals, err := t.searchOnce(rng)
+	for round := len(rep.Rounds); round < t.opts.Rounds; round++ {
+		cfg, score, tr, err := t.searchOnce(rng)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d search: %w", round, err)
 		}
+		evals := len(tr.Evals)
 		if err := rep.Distribution.Promote(cfg, t.opts.PromoteWeight); err != nil {
 			return nil, fmt.Errorf("core: round %d promote: %w", round, err)
 		}
@@ -277,17 +329,24 @@ func (t *Trainer) Run(rng *rand.Rand) (*Report, error) {
 			Score:        score,
 			SearchEvals:  evals,
 			TrainRewards: curve,
+			Search:       tr.Clone(),
 		})
 		if t.opts.AfterRound != nil {
 			t.opts.AfterRound(round)
 		}
+		if stop, err := ck.safePoint(t, st, round); err != nil || stop {
+			return rep, err
+		}
+	}
+	if err := ck.finish(t, st); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
 
 // searchOnce runs one environment-space search for the current model and
 // returns the best configuration found.
-func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, int, error) {
+func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, *bo.Trace, error) {
 	space := t.h.Space()
 	objective := func(x []float64) float64 {
 		cfg, err := space.FromUnit(x)
@@ -309,18 +368,18 @@ func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, int, error) {
 	default:
 		tr, err = bo.Maximize(objective, bo.Options{Dims: space.NumDims(), Steps: t.opts.BOSteps, Metrics: t.opts.Metrics}, rng)
 		if err != nil {
-			return env.Config{}, 0, 0, err
+			return env.Config{}, 0, nil, err
 		}
 	}
 	best, ok := tr.Best()
 	if !ok {
-		return env.Config{}, 0, 0, fmt.Errorf("core: empty search trace")
+		return env.Config{}, 0, nil, fmt.Errorf("core: empty search trace")
 	}
 	cfg, err := space.FromUnit(best.X)
 	if err != nil {
-		return env.Config{}, 0, 0, err
+		return env.Config{}, 0, nil, err
 	}
-	return cfg, best.Value, len(tr.Evals), nil
+	return cfg, best.Value, tr, nil
 }
 
 // HeuristicSchedule is CL1 (§5.5): instead of searching, promote a

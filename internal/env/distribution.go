@@ -76,6 +76,18 @@ func (d *Distribution) Promoted() []Config {
 	return append([]Config(nil), d.promoted...)
 }
 
+// Weights returns a copy of the per-promotion mixture weights, oldest first
+// (the w argument of each Promote call, not the decayed sampling
+// probabilities — see PromotionWeight for those). Together with Promoted it
+// is the distribution's full serializable state: replaying Promote with
+// these pairs reconstructs the mixture bit-exactly.
+func (d *Distribution) Weights() []float64 {
+	return append([]float64(nil), d.weights...)
+}
+
+// ExplorationFloor returns the configured uniform-draw floor.
+func (d *Distribution) ExplorationFloor() float64 { return d.exploreFloor }
+
 // BaseWeight returns the probability mass remaining on the uniform base
 // distribution.
 func (d *Distribution) BaseWeight() float64 {

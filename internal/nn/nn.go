@@ -341,36 +341,23 @@ func (m *MLP) CopyFrom(src *MLP) error {
 	return nil
 }
 
-// mlpWire is the gob wire form of an MLP.
-type mlpWire struct {
-	Sizes   []int
-	Hidden  Activation
-	Weights [][]float64
-	Biases  [][]float64
-}
-
-// Save serializes the network with gob.
+// Save serializes the network with gob (the wire layout of MLPWire; gob
+// matches struct fields by name, so streams from earlier versions decode).
 func (m *MLP) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(mlpWire{
-		Sizes: m.sizes, Hidden: m.hidden, Weights: m.weights, Biases: m.biases,
-	})
+	return gob.NewEncoder(w).Encode(m.Wire())
 }
 
 // Load deserializes a network saved with Save.
 func Load(r io.Reader) (*MLP, error) {
-	var wire mlpWire
+	var wire MLPWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("nn: load: %w", err)
 	}
-	if len(wire.Sizes) < 2 || len(wire.Weights) != len(wire.Sizes)-1 || len(wire.Biases) != len(wire.Sizes)-1 {
-		return nil, errors.New("nn: load: malformed network")
+	m, err := MLPFromWire(wire)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
 	}
-	for l := 0; l < len(wire.Sizes)-1; l++ {
-		if len(wire.Weights[l]) != wire.Sizes[l]*wire.Sizes[l+1] || len(wire.Biases[l]) != wire.Sizes[l+1] {
-			return nil, errors.New("nn: load: layer shape mismatch")
-		}
-	}
-	return &MLP{sizes: wire.Sizes, hidden: wire.Hidden, weights: wire.Weights, biases: wire.Biases}, nil
+	return m, nil
 }
 
 // Softmax returns the softmax of logits, computed stably.

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MLPWire is the exported serializable form of an MLP. It exists so callers
+// (agent and checkpoint serialization in internal/rl and internal/ckpt
+// consumers) can embed network state inside their own versioned wire structs
+// and encode everything through a single encoder, instead of interleaving
+// opaque per-network gob streams.
+type MLPWire struct {
+	Sizes   []int
+	Hidden  Activation
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// Wire returns a deep copy of the network's state in wire form, safe to hold
+// across further training steps.
+func (m *MLP) Wire() MLPWire {
+	w := MLPWire{Sizes: append([]int(nil), m.sizes...), Hidden: m.hidden}
+	for l := range m.weights {
+		w.Weights = append(w.Weights, append([]float64(nil), m.weights[l]...))
+		w.Biases = append(w.Biases, append([]float64(nil), m.biases[l]...))
+	}
+	return w
+}
+
+// MLPFromWire validates a wire form and builds the network. The wire slices
+// are deep-copied, so the caller may reuse them.
+func MLPFromWire(w MLPWire) (*MLP, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	m := &MLP{sizes: append([]int(nil), w.Sizes...), hidden: w.Hidden}
+	for l := range w.Weights {
+		m.weights = append(m.weights, append([]float64(nil), w.Weights[l]...))
+		m.biases = append(m.biases, append([]float64(nil), w.Biases[l]...))
+	}
+	return m, nil
+}
+
+func (w MLPWire) validate() error {
+	if len(w.Sizes) < 2 || len(w.Weights) != len(w.Sizes)-1 || len(w.Biases) != len(w.Sizes)-1 {
+		return errors.New("nn: malformed network wire")
+	}
+	for l := 0; l < len(w.Sizes)-1; l++ {
+		if w.Sizes[l] <= 0 || w.Sizes[l+1] <= 0 {
+			return fmt.Errorf("nn: non-positive layer size in wire: %v", w.Sizes)
+		}
+		if len(w.Weights[l]) != w.Sizes[l]*w.Sizes[l+1] || len(w.Biases[l]) != w.Sizes[l+1] {
+			return fmt.Errorf("nn: layer %d shape mismatch in wire", l)
+		}
+	}
+	return nil
+}
+
+// Sizes returns a copy of the layer widths, input first.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// GradsWire is the exported serializable form of a Grads accumulator (used
+// for Adam's moment estimates).
+type GradsWire struct {
+	Weights [][]float64
+	Biases  [][]float64
+	Count   int
+}
+
+// Wire returns a deep copy of the accumulator in wire form.
+func (g *Grads) Wire() GradsWire {
+	w := GradsWire{Count: g.count}
+	for l := range g.weights {
+		w.Weights = append(w.Weights, append([]float64(nil), g.weights[l]...))
+		w.Biases = append(w.Biases, append([]float64(nil), g.biases[l]...))
+	}
+	return w
+}
+
+// GradsFromWire rebuilds an accumulator from wire form (deep copy).
+func GradsFromWire(w GradsWire) *Grads {
+	g := &Grads{count: w.Count}
+	for l := range w.Weights {
+		g.weights = append(g.weights, append([]float64(nil), w.Weights[l]...))
+		g.biases = append(g.biases, append([]float64(nil), w.Biases[l]...))
+	}
+	return g
+}
+
+// matches reports whether g has exactly the shapes of m's parameters.
+func (g *Grads) matches(m *MLP) bool {
+	if len(g.weights) != len(m.weights) || len(g.biases) != len(m.biases) {
+		return false
+	}
+	for l := range g.weights {
+		if len(g.weights[l]) != len(m.weights[l]) || len(g.biases[l]) != len(m.biases[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AdamWire is the exported serializable form of an Adam optimizer, including
+// the first/second moment estimates and the bias-correction step counter.
+// Dropping these on a checkpoint restore changes every subsequent update
+// (the bias correction restarts and the moments re-warm), which is exactly
+// the lossy behaviour the checkpoint subsystem exists to fix.
+type AdamWire struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	T       int
+	// M and V are nil when no Step has run yet.
+	M *GradsWire
+	V *GradsWire
+}
+
+// Wire returns a deep copy of the optimizer state in wire form.
+func (a *Adam) Wire() AdamWire {
+	w := AdamWire{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Epsilon: a.Epsilon, T: a.t}
+	if a.m != nil {
+		mw := a.m.Wire()
+		vw := a.v.Wire()
+		w.M, w.V = &mw, &vw
+	}
+	return w
+}
+
+// AdamFromWire rebuilds an Adam optimizer from wire form. net fixes the
+// expected moment shapes; a wire whose moments do not match net's
+// architecture is rejected rather than silently producing shape panics on
+// the first Step after a resume.
+func AdamFromWire(w AdamWire, net *MLP) (*Adam, error) {
+	a := &Adam{LR: w.LR, Beta1: w.Beta1, Beta2: w.Beta2, Epsilon: w.Epsilon, t: w.T}
+	if (w.M == nil) != (w.V == nil) {
+		return nil, errors.New("nn: adam wire has only one of M/V")
+	}
+	if w.M != nil {
+		a.m = GradsFromWire(*w.M)
+		a.v = GradsFromWire(*w.V)
+		if !a.m.matches(net) || !a.v.matches(net) {
+			return nil, errors.New("nn: adam wire moments do not match network architecture")
+		}
+	} else if w.T != 0 {
+		return nil, fmt.Errorf("nn: adam wire has step count %d but no moments", w.T)
+	}
+	return a, nil
+}

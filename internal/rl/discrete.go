@@ -2,7 +2,6 @@ package rl
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -504,36 +503,4 @@ func (a *DiscreteAgent) Clone() *DiscreteAgent {
 	c.pGrads = c.policy.NewGrads()
 	c.vGrads = c.value.NewGrads()
 	return c
-}
-
-// Save serializes the agent's networks.
-func (a *DiscreteAgent) Save(w io.Writer) error {
-	if err := a.policy.Save(w); err != nil {
-		return err
-	}
-	return a.value.Save(w)
-}
-
-// LoadDiscreteAgent restores an agent saved with Save; cfg must match the
-// saved architecture.
-func LoadDiscreteAgent(cfg DiscreteConfig, r io.Reader) (*DiscreteAgent, error) {
-	policy, err := nn.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	value, err := nn.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	if policy.InSize() != cfg.ObsSize || policy.OutSize() != cfg.NumActions {
-		return nil, fmt.Errorf("rl: loaded policy %dx%d does not match config %dx%d",
-			policy.InSize(), policy.OutSize(), cfg.ObsSize, cfg.NumActions)
-	}
-	a := &DiscreteAgent{
-		cfg: cfg, policy: policy, value: value,
-		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR),
-	}
-	a.pGrads = policy.NewGrads()
-	a.vGrads = value.NewGrads()
-	return a, nil
 }

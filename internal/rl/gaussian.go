@@ -2,7 +2,6 @@ package rl
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -488,46 +487,6 @@ func (a *GaussianAgent) Clone() *GaussianAgent {
 	}
 	c.initGradState()
 	return c
-}
-
-// Save serializes the agent.
-func (a *GaussianAgent) Save(w io.Writer) error {
-	if err := a.policy.Save(w); err != nil {
-		return err
-	}
-	if err := a.value.Save(w); err != nil {
-		return err
-	}
-	for _, ls := range a.logStd {
-		if _, err := fmt.Fprintf(w, "%v\n", ls); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// LoadGaussianAgent restores an agent saved with Save.
-func LoadGaussianAgent(cfg GaussianConfig, r io.Reader) (*GaussianAgent, error) {
-	policy, err := nn.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	value, err := nn.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	logStd := make([]float64, cfg.ActionDim)
-	for i := range logStd {
-		if _, err := fmt.Fscan(r, &logStd[i]); err != nil {
-			return nil, fmt.Errorf("rl: load logstd: %w", err)
-		}
-	}
-	a := &GaussianAgent{
-		cfg: cfg, policy: policy, value: value, logStd: logStd,
-		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
-	}
-	a.initGradState()
-	return a, nil
 }
 
 // adamVec is Adam over a plain float64 vector (the log-std parameters).

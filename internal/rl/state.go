@@ -1,0 +1,436 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/genet-go/genet/internal/nn"
+)
+
+// Serialization formats.
+//
+// Two stream kinds exist per agent, both single gob values with a leading
+// Version field:
+//
+//   - model streams (Save/Load*Agent): networks and logStd only, for
+//     handing a trained policy to evaluation tools. Lossy by design — no
+//     optimizer state — and therefore deprecated for mid-run persistence.
+//   - state streams (SaveState/Load*AgentState): the complete training
+//     state — config, networks, logStd, and every Adam moment and step
+//     counter — such that LoadState followed by Update is bit-identical to
+//     never having serialized at all. Checkpoint/resume uses these.
+//
+// The historical model format (consecutive raw network gobs, and for the
+// Gaussian agent trailing text-encoded floats interleaved after the gob
+// stream) is still readable through a compat path in Load*Agent.
+const (
+	modelFormatVersion = 1
+	stateFormatVersion = 1
+)
+
+// init pins gob's process-global type ids for every wire type, in a fixed
+// order. Gob assigns those ids lazily at first encode, so without this a
+// model saved after some unrelated gob activity (e.g. a checkpoint write)
+// would carry different type-descriptor bytes than one saved first — same
+// decoded values, different file hash — breaking the bit-identical-output
+// contract between otherwise identical runs.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		discreteModelWire{}, gaussianModelWire{},
+		discreteStateWire{}, gaussianStateWire{},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(fmt.Sprintf("rl: pin gob wire types: %v", err))
+		}
+	}
+}
+
+type discreteModelWire struct {
+	Version int
+	Cfg     DiscreteConfig
+	Policy  nn.MLPWire
+	Value   nn.MLPWire
+}
+
+type gaussianModelWire struct {
+	Version int
+	Cfg     GaussianConfig
+	Policy  nn.MLPWire
+	Value   nn.MLPWire
+	LogStd  []float64
+}
+
+type discreteStateWire struct {
+	Version int
+	Cfg     DiscreteConfig
+	Policy  nn.MLPWire
+	Value   nn.MLPWire
+	POpt    nn.AdamWire
+	VOpt    nn.AdamWire
+}
+
+// adamVecWire serializes the log-std Adam state (adamVec), which the legacy
+// Save dropped entirely: after an old-format round-trip the log-std moments
+// and step counter restarted from zero and the resumed run diverged.
+type adamVecWire struct {
+	LR, B1, B2, Eps float64
+	M, V            []float64
+	T               int
+}
+
+type gaussianStateWire struct {
+	Version int
+	Cfg     GaussianConfig
+	Policy  nn.MLPWire
+	Value   nn.MLPWire
+	LogStd  []float64
+	POpt    nn.AdamWire
+	VOpt    nn.AdamWire
+	SOpt    adamVecWire
+}
+
+func (a *adamVec) wire() adamVecWire {
+	return adamVecWire{
+		LR: a.lr, B1: a.b1, B2: a.b2, Eps: a.eps,
+		M: append([]float64(nil), a.m...),
+		V: append([]float64(nil), a.v...),
+		T: a.t,
+	}
+}
+
+func adamVecFromWire(w adamVecWire, n int) (*adamVec, error) {
+	if len(w.M) != n || len(w.V) != n {
+		return nil, fmt.Errorf("rl: log-std optimizer state has %d/%d moments, want %d", len(w.M), len(w.V), n)
+	}
+	return &adamVec{
+		lr: w.LR, b1: w.B1, b2: w.B2, eps: w.Eps,
+		m: append([]float64(nil), w.M...),
+		v: append([]float64(nil), w.V...),
+		t: w.T,
+	}, nil
+}
+
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// discreteSizes returns the policy and value layer widths cfg implies.
+func discreteSizes(cfg DiscreteConfig) (policy, value []int) {
+	policy = append(append([]int{cfg.ObsSize}, cfg.Hidden...), cfg.NumActions)
+	value = append(append([]int{cfg.ObsSize}, cfg.Hidden...), 1)
+	return policy, value
+}
+
+// gaussianSizes returns the policy and value layer widths cfg implies.
+func gaussianSizes(cfg GaussianConfig) (policy, value []int) {
+	policy = append(append([]int{cfg.ObsSize}, cfg.Hidden...), cfg.ActionDim)
+	value = append(append([]int{cfg.ObsSize}, cfg.Hidden...), 1)
+	return policy, value
+}
+
+// validateDiscreteArch checks the loaded networks against every dimension
+// cfg implies — obs width, action count, and each hidden layer — so a config
+// mismatch fails at load time with a descriptive error instead of a shape
+// panic (or silent garbage) deep inside the first forward pass.
+func validateDiscreteArch(cfg DiscreteConfig, policy, value *nn.MLP) error {
+	wantP, wantV := discreteSizes(cfg)
+	if got := policy.Sizes(); !equalInts(got, wantP) {
+		return fmt.Errorf("rl: loaded policy layers %v do not match config (obs=%d hidden=%v actions=%d wants %v)",
+			got, cfg.ObsSize, cfg.Hidden, cfg.NumActions, wantP)
+	}
+	if got := value.Sizes(); !equalInts(got, wantV) {
+		return fmt.Errorf("rl: loaded value net layers %v do not match config (obs=%d hidden=%v wants %v)",
+			got, cfg.ObsSize, cfg.Hidden, wantV)
+	}
+	return nil
+}
+
+// validateGaussianArch is validateDiscreteArch for the Gaussian agent,
+// additionally checking the log-std vector length.
+func validateGaussianArch(cfg GaussianConfig, policy, value *nn.MLP, logStd []float64) error {
+	wantP, wantV := gaussianSizes(cfg)
+	if got := policy.Sizes(); !equalInts(got, wantP) {
+		return fmt.Errorf("rl: loaded policy layers %v do not match config (obs=%d hidden=%v actions=%d wants %v)",
+			got, cfg.ObsSize, cfg.Hidden, cfg.ActionDim, wantP)
+	}
+	if got := value.Sizes(); !equalInts(got, wantV) {
+		return fmt.Errorf("rl: loaded value net layers %v do not match config (obs=%d hidden=%v wants %v)",
+			got, cfg.ObsSize, cfg.Hidden, wantV)
+	}
+	if len(logStd) != cfg.ActionDim {
+		return fmt.Errorf("rl: loaded log-std has %d dims, config wants %d", len(logStd), cfg.ActionDim)
+	}
+	return nil
+}
+
+// --- DiscreteAgent ---
+
+// Save serializes the agent's networks as one versioned gob value.
+//
+// Deprecated: Save drops the Adam optimizer state, so a save/load round-trip
+// mid-training diverges from an uninterrupted run. Use SaveState for
+// checkpoint/resume; Save remains for exporting inference-only models.
+func (a *DiscreteAgent) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(discreteModelWire{
+		Version: modelFormatVersion,
+		Cfg:     a.cfg,
+		Policy:  a.policy.Wire(),
+		Value:   a.value.Wire(),
+	})
+}
+
+// LoadDiscreteAgent restores an agent saved with Save. The networks are
+// validated against cfg (observation width, action count, hidden sizes); a
+// mismatch is a descriptive error, never a deferred shape panic. Streams
+// written by the pre-versioned format (raw consecutive network gobs) are
+// still accepted.
+//
+// Deprecated: models loaded this way carry fresh optimizer state; use
+// SaveState/LoadDiscreteAgentState to continue training losslessly.
+func LoadDiscreteAgent(cfg DiscreteConfig, r io.Reader) (*DiscreteAgent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load: %w", err)
+	}
+	var policy, value *nn.MLP
+	var wire discreteModelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err == nil && wire.Version >= modelFormatVersion {
+		if policy, err = nn.MLPFromWire(wire.Policy); err != nil {
+			return nil, fmt.Errorf("rl: load policy: %w", err)
+		}
+		if value, err = nn.MLPFromWire(wire.Value); err != nil {
+			return nil, fmt.Errorf("rl: load value net: %w", err)
+		}
+	} else {
+		// Legacy format: two consecutive raw network gob streams.
+		br := bytes.NewReader(data)
+		if policy, err = nn.Load(br); err != nil {
+			return nil, fmt.Errorf("rl: load legacy policy: %w", err)
+		}
+		if value, err = nn.Load(br); err != nil {
+			return nil, fmt.Errorf("rl: load legacy value net: %w", err)
+		}
+	}
+	if err := validateDiscreteArch(cfg, policy, value); err != nil {
+		return nil, err
+	}
+	a := &DiscreteAgent{
+		cfg: cfg, policy: policy, value: value,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR),
+	}
+	a.pGrads = policy.NewGrads()
+	a.vGrads = value.NewGrads()
+	return a, nil
+}
+
+// SaveState serializes the agent's complete training state: config,
+// networks, and both Adam optimizers including moments and step counters.
+// LoadDiscreteAgentState followed by Update is bit-identical to an agent
+// that was never serialized.
+func (a *DiscreteAgent) SaveState(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(discreteStateWire{
+		Version: stateFormatVersion,
+		Cfg:     a.cfg,
+		Policy:  a.policy.Wire(),
+		Value:   a.value.Wire(),
+		POpt:    a.pOpt.Wire(),
+		VOpt:    a.vOpt.Wire(),
+	})
+}
+
+// LoadDiscreteAgentState restores an agent saved with SaveState. The
+// configuration is part of the stream; runtime-only knobs (UpdateWorkers,
+// Metrics) are left at their zero values for the caller to set.
+func LoadDiscreteAgentState(r io.Reader) (*DiscreteAgent, error) {
+	var wire discreteStateWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("rl: load state: %w", err)
+	}
+	if wire.Version < 1 || wire.Version > stateFormatVersion {
+		return nil, fmt.Errorf("rl: unsupported agent state version %d (this build reads <= %d)", wire.Version, stateFormatVersion)
+	}
+	if wire.Cfg.ObsSize <= 0 || wire.Cfg.NumActions <= 1 {
+		return nil, errors.New("rl: agent state stream carries no config (was it written with Save instead of SaveState?)")
+	}
+	// A model-only stream gob-decodes into this wire shape with zeroed
+	// optimizers; accepting it would silently train with LR 0 after resume.
+	if wire.POpt.LR <= 0 || wire.VOpt.LR <= 0 {
+		return nil, errors.New("rl: stream lacks optimizer state (written with Save instead of SaveState?)")
+	}
+	policy, err := nn.MLPFromWire(wire.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state policy: %w", err)
+	}
+	value, err := nn.MLPFromWire(wire.Value)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state value net: %w", err)
+	}
+	if err := validateDiscreteArch(wire.Cfg, policy, value); err != nil {
+		return nil, err
+	}
+	pOpt, err := nn.AdamFromWire(wire.POpt, policy)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state policy optimizer: %w", err)
+	}
+	vOpt, err := nn.AdamFromWire(wire.VOpt, value)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state value optimizer: %w", err)
+	}
+	a := &DiscreteAgent{
+		cfg: wire.Cfg, policy: policy, value: value,
+		pOpt: pOpt, vOpt: vOpt,
+	}
+	a.pGrads = policy.NewGrads()
+	a.vGrads = value.NewGrads()
+	return a, nil
+}
+
+// --- GaussianAgent ---
+
+// Save serializes the agent's networks and log-std vector as one versioned
+// gob value. This replaces the historical format that interleaved
+// text-encoded floats after raw network gob streams; old files remain
+// readable through LoadGaussianAgent's compat path.
+//
+// Deprecated: Save drops all three Adam optimizer states (policy, value,
+// log-std), so a save/load round-trip mid-training diverges from an
+// uninterrupted run. Use SaveState for checkpoint/resume.
+func (a *GaussianAgent) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gaussianModelWire{
+		Version: modelFormatVersion,
+		Cfg:     a.cfg,
+		Policy:  a.policy.Wire(),
+		Value:   a.value.Wire(),
+		LogStd:  append([]float64(nil), a.logStd...),
+	})
+}
+
+// LoadGaussianAgent restores an agent saved with Save, validating the
+// networks and log-std vector against cfg. Streams in the legacy mixed
+// gob+text format are still accepted.
+//
+// Deprecated: models loaded this way carry fresh optimizer state; use
+// SaveState/LoadGaussianAgentState to continue training losslessly.
+func LoadGaussianAgent(cfg GaussianConfig, r io.Reader) (*GaussianAgent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load: %w", err)
+	}
+	var policy, value *nn.MLP
+	var logStd []float64
+	var wire gaussianModelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err == nil && wire.Version >= modelFormatVersion {
+		if policy, err = nn.MLPFromWire(wire.Policy); err != nil {
+			return nil, fmt.Errorf("rl: load policy: %w", err)
+		}
+		if value, err = nn.MLPFromWire(wire.Value); err != nil {
+			return nil, fmt.Errorf("rl: load value net: %w", err)
+		}
+		logStd = append([]float64(nil), wire.LogStd...)
+	} else {
+		// Legacy format: two raw network gob streams followed by one
+		// text-encoded float per action dimension.
+		br := bytes.NewReader(data)
+		if policy, err = nn.Load(br); err != nil {
+			return nil, fmt.Errorf("rl: load legacy policy: %w", err)
+		}
+		if value, err = nn.Load(br); err != nil {
+			return nil, fmt.Errorf("rl: load legacy value net: %w", err)
+		}
+		logStd = make([]float64, cfg.ActionDim)
+		for i := range logStd {
+			if _, err := fmt.Fscan(br, &logStd[i]); err != nil {
+				return nil, fmt.Errorf("rl: load legacy logstd: %w", err)
+			}
+		}
+	}
+	if err := validateGaussianArch(cfg, policy, value, logStd); err != nil {
+		return nil, err
+	}
+	a := &GaussianAgent{
+		cfg: cfg, policy: policy, value: value, logStd: logStd,
+		pOpt: nn.NewAdam(cfg.LR), vOpt: nn.NewAdam(cfg.LR), sOpt: newAdamVec(cfg.LR, cfg.ActionDim),
+	}
+	a.initGradState()
+	return a, nil
+}
+
+// SaveState serializes the agent's complete training state: config,
+// networks, log-std, and all three Adam optimizers (policy, value, and the
+// log-std vector optimizer) including moments and step counters.
+// LoadGaussianAgentState followed by Update is bit-identical to an agent
+// that was never serialized.
+func (a *GaussianAgent) SaveState(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gaussianStateWire{
+		Version: stateFormatVersion,
+		Cfg:     a.cfg,
+		Policy:  a.policy.Wire(),
+		Value:   a.value.Wire(),
+		LogStd:  append([]float64(nil), a.logStd...),
+		POpt:    a.pOpt.Wire(),
+		VOpt:    a.vOpt.Wire(),
+		SOpt:    a.sOpt.wire(),
+	})
+}
+
+// LoadGaussianAgentState restores an agent saved with SaveState.
+func LoadGaussianAgentState(r io.Reader) (*GaussianAgent, error) {
+	var wire gaussianStateWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("rl: load state: %w", err)
+	}
+	if wire.Version < 1 || wire.Version > stateFormatVersion {
+		return nil, fmt.Errorf("rl: unsupported agent state version %d (this build reads <= %d)", wire.Version, stateFormatVersion)
+	}
+	if wire.Cfg.ObsSize <= 0 || wire.Cfg.ActionDim <= 0 {
+		return nil, errors.New("rl: agent state stream carries no config (was it written with Save instead of SaveState?)")
+	}
+	// A model-only stream gob-decodes into this wire shape with zeroed
+	// optimizers; accepting it would silently train with LR 0 after resume.
+	if wire.POpt.LR <= 0 || wire.VOpt.LR <= 0 || wire.SOpt.LR <= 0 {
+		return nil, errors.New("rl: stream lacks optimizer state (written with Save instead of SaveState?)")
+	}
+	policy, err := nn.MLPFromWire(wire.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state policy: %w", err)
+	}
+	value, err := nn.MLPFromWire(wire.Value)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state value net: %w", err)
+	}
+	logStd := append([]float64(nil), wire.LogStd...)
+	if err := validateGaussianArch(wire.Cfg, policy, value, logStd); err != nil {
+		return nil, err
+	}
+	pOpt, err := nn.AdamFromWire(wire.POpt, policy)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state policy optimizer: %w", err)
+	}
+	vOpt, err := nn.AdamFromWire(wire.VOpt, value)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state value optimizer: %w", err)
+	}
+	sOpt, err := adamVecFromWire(wire.SOpt, wire.Cfg.ActionDim)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load state log-std optimizer: %w", err)
+	}
+	a := &GaussianAgent{
+		cfg: wire.Cfg, policy: policy, value: value, logStd: logStd,
+		pOpt: pOpt, vOpt: vOpt, sOpt: sOpt,
+	}
+	a.initGradState()
+	return a, nil
+}

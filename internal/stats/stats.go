@@ -83,14 +83,21 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using linear
-// interpolation between closest ranks. It panics on an empty slice or when p
-// is outside [0, 100].
+// interpolation between closest ranks. It panics on an empty slice, when p
+// is outside [0, 100], or when xs contains NaN — NaNs break the sort's
+// total order, so the closest-rank lookup would silently return an
+// arbitrary element instead of a percentile.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: Percentile input contains NaN at index %d", i))
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -199,10 +206,16 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. A zero Summary is returned for an
-// empty slice.
+// empty slice; NaN input panics (see Percentile) instead of flowing into
+// every field as garbage.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: Summarize input contains NaN at index %d", i))
+		}
 	}
 	return Summary{
 		N:      len(xs),

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -120,6 +121,30 @@ func TestPercentileRangePanics(t *testing.T) {
 		}
 	}()
 	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileNaNPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Percentile with NaN input did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "NaN") {
+			t.Fatalf("panic %v does not name NaN as the cause", r)
+		}
+	}()
+	// NaN breaks sort.Float64s' total order, so before the check this
+	// returned an arbitrary element as "the median".
+	Percentile([]float64{3, math.NaN(), 1, 2}, 50)
+}
+
+func TestSummarizeNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize with NaN input did not panic")
+		}
+	}()
+	Summarize([]float64{1, math.NaN()})
 }
 
 func TestPearsonPerfectCorrelation(t *testing.T) {

@@ -23,6 +23,8 @@ import (
 	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/core"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 )
 
@@ -41,6 +43,13 @@ func main() {
 		ckPath   = flag.String("checkpoint", "", "write a resumable training checkpoint to this file (atomic; curriculum strategies only)")
 		ckEvery  = flag.Int("checkpoint-every", 1, "rounds between checkpoint writes")
 		resume   = flag.String("resume", "", "resume a curriculum run from this checkpoint file (keeps checkpointing to it unless -checkpoint overrides)")
+		useGuard = flag.Bool("guard", false, "arm the training-health watchdog (skip poisoned updates, quarantine faulty envs, roll back to checkpoints)")
+		rbAfter  = flag.Int("rollback-after", 8, "with -guard: consecutive unhealthy updates before rolling back to the last checkpoint")
+		qAfter   = flag.Int("quarantine-after", 3, "with -guard: consecutive faulty rollouts before quarantining the newest promoted config")
+		inject   = flag.String("inject", "", "chaos testing: deterministic fault spec \"site:everyN,...\" over sites env-step|grad-nan|trace-corrupt|bo-query|ckpt-write (or \"all:N\")")
+		envsIter = flag.Int("envs-per-iter", 0, "parallel environments per training iteration (0 = harness default)")
+		stepsIt  = flag.Int("steps-per-iter", 0, "environment steps per training iteration (0 = harness default)")
+		warmup   = flag.Int("warmup", -1, "warm-up iterations before the first promotion (-1 = default 10, 0 = none)")
 	)
 	flag.Parse()
 	if *outPath == "" {
@@ -87,6 +96,37 @@ func main() {
 		fatal(err)
 	}
 	core.SetHarnessMetrics(h, reg)
+	sizeHarness(h, *envsIter, *stepsIt)
+
+	// Guard and fault injector are built up front so both the curriculum
+	// and traditional paths share them, and the final summary can print
+	// their counters.
+	var g *guard.Guard
+	if *useGuard {
+		g = guard.New(guard.Config{
+			RollbackAfter:   *rbAfter,
+			QuarantineAfter: *qAfter,
+		})
+	}
+	var injector *faults.Injector
+	if *inject != "" {
+		injector, err = faults.ParseSpec(*seed, *inject)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chaos: injecting faults (%s)\n", *inject)
+	}
+
+	// Sweep temp files stranded by a previous aborted run before writing
+	// anything next to the checkpoint.
+	for _, p := range []string{*ckPath, *resume} {
+		if p == "" {
+			continue
+		}
+		if n, err := ckpt.RemoveStaleTemps(p); err == nil && n > 0 {
+			fmt.Fprintf(os.Stderr, "genet-train: removed %d stale checkpoint temp file(s) near %s\n", n, p)
+		}
+	}
 
 	start := time.Now()
 	switch strings.ToLower(*strategy) {
@@ -95,6 +135,13 @@ func main() {
 			fatal(fmt.Errorf("-checkpoint/-resume require a curriculum strategy (genet|cl2|cl3); %s has no safe points", *strategy))
 		}
 		total := *rounds * *iters
+		// No round structure means no rollback/quarantine policy, but the
+		// per-update scan and rollout containment still apply.
+		core.SetHarnessGuard(h, g)
+		core.SetHarnessFaults(h, injector)
+		if g.Enabled() && reg.Enabled() {
+			g.SetMetrics(reg)
+		}
 		fmt.Fprintf(os.Stderr, "training traditional %s on %s for %d iterations...\n", *strategy, *useCase, total)
 		curve := core.TrainTraditional(h, total, rng)
 		fmt.Fprintf(os.Stderr, "final training reward: %.3f\n", curve[len(curve)-1])
@@ -103,6 +150,15 @@ func main() {
 			Rounds: *rounds, ItersPerRound: *iters,
 			BOSteps: *boSteps, EnvsPerEval: *envsEval,
 			Metrics: reg,
+			Guard:   g,
+			Faults:  injector,
+		}
+		if *warmup >= 0 {
+			if *warmup == 0 {
+				opts.WarmupIters = -1 // resolved to "no warm-up"
+			} else {
+				opts.WarmupIters = *warmup
+			}
 		}
 		if strings.EqualFold(*useCase, "cc") {
 			// CC rewards scale with link bandwidth; search normalized gaps.
@@ -139,6 +195,12 @@ func main() {
 		}
 		for _, r := range rep.Rounds {
 			fmt.Fprintf(os.Stderr, "round %d: promoted [%s] score=%.3f\n", r.Round, r.Promoted, r.Score)
+			for _, ev := range r.Recoveries {
+				fmt.Fprintf(os.Stderr, "round %d: recovery %s count=%d %s\n", r.Round, ev.Kind, ev.Count, ev.Detail)
+			}
+		}
+		if n := rep.Distribution.NumQuarantined(); n > 0 {
+			fmt.Fprintf(os.Stderr, "quarantined %d promoted config(s): %s\n", n, rep.Distribution)
 		}
 		if rep.Interrupted {
 			ckFile := *ckPath
@@ -152,6 +214,12 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 	fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start).Round(time.Millisecond))
+	if g.Enabled() {
+		fmt.Fprintf(os.Stderr, "guard: %s\n", g.Snapshot())
+	}
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "faults: %s\n", injector)
+	}
 
 	f, err := os.Create(*outPath)
 	if err != nil {
@@ -205,6 +273,34 @@ func buildHarness(useCase string, level env.RangeLevel, baseline string, rng *ra
 	return nil, fmt.Errorf("unknown use case %q", useCase)
 }
 
+// sizeHarness applies the -envs-per-iter / -steps-per-iter overrides; zero
+// keeps each harness's default.
+func sizeHarness(h core.Harness, envs, steps int) {
+	switch hh := h.(type) {
+	case *core.ABRHarness:
+		if envs > 0 {
+			hh.EnvsPerIter = envs
+		}
+		if steps > 0 {
+			hh.StepsPerIter = steps
+		}
+	case *core.CCHarness:
+		if envs > 0 {
+			hh.EnvsPerIter = envs
+		}
+		if steps > 0 {
+			hh.StepsPerIter = steps
+		}
+	case *core.LBHarness:
+		if envs > 0 {
+			hh.EnvsPerIter = envs
+		}
+		if steps > 0 {
+			hh.StepsPerIter = steps
+		}
+	}
+}
+
 func saveModel(h core.Harness, f *os.File) error {
 	switch hh := h.(type) {
 	case *core.ABRHarness:
@@ -222,7 +318,9 @@ func saveModel(h core.Harness, f *os.File) error {
 // trainer finishes the round in flight, writes the checkpoint atomically,
 // and exits — so a mid-run interrupt always leaves path loadable, never a
 // torn file. A second ^C aborts immediately (the previous complete
-// checkpoint survives, thanks to write-to-temp-then-rename).
+// checkpoint survives, thanks to write-to-temp-then-rename), sweeping any
+// temp file the aborted write stranded; the startup sweep catches the case
+// where the abort wins the race with an in-flight creation.
 func interruptFlag(path string) func() bool {
 	var requested atomic.Bool
 	sigc := make(chan os.Signal, 1)
@@ -232,6 +330,7 @@ func interruptFlag(path string) func() bool {
 		fmt.Fprintf(os.Stderr, "\ngenet-train: interrupt: stopping at next safe point and checkpointing to %s (^C again to abort)\n", path)
 		requested.Store(true)
 		<-sigc
+		ckpt.RemoveStaleTemps(path) // best effort; startup sweep is the backstop
 		os.Exit(130)
 	}()
 	return requested.Load

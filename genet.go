@@ -21,6 +21,8 @@ import (
 	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/core"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/trace"
 )
 
@@ -56,6 +58,20 @@ type (
 	// training state (weights and optimizer moments) can be captured and
 	// restored losslessly.
 	AgentStateHarness = core.AgentStateHarness
+	// RecoveryEvent records one guard intervention during training.
+	RecoveryEvent = core.RecoveryEvent
+	// Guard is the training-health watchdog (NaN/divergence detection,
+	// quarantine and rollback policy); set it on Options.Guard.
+	Guard = guard.Guard
+	// GuardConfig tunes the watchdog's thresholds.
+	GuardConfig = guard.Config
+	// GuardStats are the watchdog's intervention counters.
+	GuardStats = guard.Stats
+	// FaultInjector deterministically injects faults for chaos testing;
+	// set it on Options.Faults.
+	FaultInjector = faults.Injector
+	// FaultSite identifies one fault-injection site.
+	FaultSite = faults.Site
 	// Rand is a *rand.Rand whose stream position is serializable, for use
 	// with checkpointed runs.
 	Rand = ckpt.Rand
@@ -75,6 +91,29 @@ const (
 	SearchRandom     = core.SearchRandom
 	SearchCoordinate = core.SearchCoordinate
 )
+
+// Fault-injection sites.
+const (
+	FaultEnvStepPanic = faults.EnvStepPanic
+	FaultGradPoison   = faults.GradPoison
+	FaultTraceCorrupt = faults.TraceCorrupt
+	FaultBOQueryFail  = faults.BOQueryFail
+	FaultCkptWrite    = faults.CkptWriteFail
+)
+
+// NewGuard builds a training-health watchdog with the given thresholds; a
+// zero config enables only NaN/Inf detection.
+func NewGuard(cfg GuardConfig) *Guard { return guard.New(cfg) }
+
+// NewFaultInjector builds a seeded deterministic fault injector with every
+// site disabled; arm sites with Enable.
+func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
+
+// ParseFaultSpec builds an injector from a "site:everyN,..." spec string
+// (e.g. "grad-nan:50,bo-query:10", or "all:100").
+func ParseFaultSpec(seed int64, spec string) (*FaultInjector, error) {
+	return faults.ParseSpec(seed, spec)
+}
 
 // NewTrainer builds a Genet trainer; zero-valued options take the
 // Algorithm 2 defaults (9 rounds, 10 iterations/round, 15 BO steps, k=10,

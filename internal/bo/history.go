@@ -7,7 +7,7 @@ func (t *Trace) Clone() *Trace {
 	if t == nil {
 		return nil
 	}
-	c := &Trace{Evals: make([]Result, len(t.Evals))}
+	c := &Trace{Evals: make([]Result, len(t.Evals)), Failures: t.Failures}
 	for i, r := range t.Evals {
 		c.Evals[i] = Result{X: append([]float64(nil), r.X...), Value: r.Value}
 	}
@@ -21,7 +21,7 @@ func (t *Trace) Equal(o *Trace) bool {
 	if t == nil || o == nil {
 		return t == o
 	}
-	if len(t.Evals) != len(o.Evals) {
+	if len(t.Evals) != len(o.Evals) || t.Failures != o.Failures {
 		return false
 	}
 	for i, r := range t.Evals {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/metrics"
 )
 
@@ -22,6 +23,11 @@ type Result struct {
 // was the best point after n evaluations" for Fig 20-style plots.
 type Trace struct {
 	Evals []Result
+	// Failures counts objective queries that failed (injected fault or a
+	// NaN return) including the ones a retry later recovered. A point whose
+	// retries were exhausted is recorded with Value -Inf so the search
+	// continues but can never select it as the best.
+	Failures int
 }
 
 // Best returns the best point found, or false when no evaluations ran.
@@ -78,6 +84,16 @@ type Options struct {
 	// search with the GP hyperparameters. Telemetry never draws from rng,
 	// so attaching it cannot change which points are evaluated.
 	Metrics *metrics.Registry
+	// Faults optionally injects query failures at the bo-query site
+	// (chaos testing). nil means no injection.
+	Faults *faults.Injector
+	// QueryRetries bounds how many times a failed objective query (injected
+	// fault or NaN result) is retried before the point is recorded with
+	// value -Inf (default 2, i.e. up to 3 attempts). The retry schedule is
+	// deterministic: retries re-evaluate the same point immediately and
+	// consume no randomness, so a fault-free run draws the same rng
+	// sequence whether or not retries are configured.
+	QueryRetries int
 }
 
 func (o *Options) defaults() error {
@@ -96,6 +112,9 @@ func (o *Options) defaults() error {
 	if o.Candidates <= 0 {
 		o.Candidates = 512
 	}
+	if o.QueryRetries <= 0 {
+		o.QueryRetries = 2
+	}
 	return nil
 }
 
@@ -113,8 +132,30 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 	// probes (seeding and fit-failure fallbacks) carry random=1 and no
 	// posterior, acquisition-chosen points carry the winning EI and the GP
 	// posterior at the chosen point.
+	// query runs the objective with bounded retry. An injected bo-query
+	// fault fails the attempt before f runs (the query never reached the
+	// evaluator); a NaN return fails it after (the evaluator misbehaved).
+	// Retries are immediate and rng-free, so the fault schedule alone
+	// decides which runs diverge. Exhausted retries pin the point at -Inf.
+	query := func(x []float64) float64 {
+		for attempt := 0; ; attempt++ {
+			if opts.Faults.Fire(faults.BOQueryFail) {
+				tr.Failures++
+			} else if v := f(x); !math.IsNaN(v) {
+				return v
+			} else {
+				tr.Failures++
+			}
+			if m.Enabled() {
+				m.Counter("bo/query_failures").Inc()
+			}
+			if attempt >= opts.QueryRetries {
+				return math.Inf(-1)
+			}
+		}
+	}
 	eval := func(x []float64, random bool, ei, mu, va float64) {
-		v := f(x)
+		v := query(x)
 		tr.Evals = append(tr.Evals, Result{X: x, Value: v})
 		if m.Enabled() {
 			m.Counter("bo/evals").Inc()
@@ -144,11 +185,20 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 			metrics.F{K: "noise_var", V: gp.NoiseVar})
 	}
 	for len(tr.Evals) < opts.Steps {
-		xs := make([][]float64, len(tr.Evals))
-		ys := make([]float64, len(tr.Evals))
-		for i, r := range tr.Evals {
-			xs[i] = r.X
-			ys[i] = r.Value
+		// Failed queries sit at -Inf; feeding them to standardize/Fit would
+		// poison the whole posterior, so the GP sees only the finite evals.
+		xs := make([][]float64, 0, len(tr.Evals))
+		ys := make([]float64, 0, len(tr.Evals))
+		for _, r := range tr.Evals {
+			if math.IsInf(r.Value, 0) || math.IsNaN(r.Value) {
+				continue
+			}
+			xs = append(xs, r.X)
+			ys = append(ys, r.Value)
+		}
+		if len(ys) == 0 {
+			eval(randPoint(opts.Dims, rng), true, 0, 0, 0)
+			continue
 		}
 		ys = standardize(ys)
 		if err := gp.Fit(xs, ys); err != nil {

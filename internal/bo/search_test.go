@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/genet-go/genet/internal/faults"
 )
 
 // peak is a smooth 2-D objective with its maximum at (0.7, 0.3).
@@ -165,5 +167,109 @@ func TestStandardize(t *testing.T) {
 	con := standardize([]float64{5, 5})
 	if con[0] != 0 || con[1] != 0 {
 		t.Fatalf("constant standardize = %v", con)
+	}
+}
+
+func TestMaximizeRetriesInjectedQueryFailures(t *testing.T) {
+	in := faults.New(11)
+	in.Enable(faults.BOQueryFail, 3)
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		return -(x[0] - 0.5) * (x[0] - 0.5)
+	}
+	tr, err := Maximize(f, Options{Dims: 1, Steps: 12, Faults: in}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Evals) != 12 {
+		t.Fatalf("got %d evals, want 12", len(tr.Evals))
+	}
+	if in.Fired(faults.BOQueryFail) == 0 {
+		t.Fatal("injector never fired")
+	}
+	if tr.Failures == 0 {
+		t.Fatal("failures not recorded in trace")
+	}
+	// Injected failures skip the objective, so f ran fewer times than
+	// (attempts); every recorded eval still has a value.
+	if calls == 0 {
+		t.Fatal("objective never ran")
+	}
+	if best, ok := tr.Best(); !ok || math.IsInf(best.Value, -1) {
+		t.Fatalf("best = %+v, %v", best, ok)
+	}
+}
+
+func TestMaximizeExhaustedRetriesPinMinusInf(t *testing.T) {
+	// NaN from the objective itself is a query failure too; a point that
+	// stays NaN through every retry is recorded at -Inf and the search
+	// still completes its budget.
+	bad := 0
+	f := func(x []float64) float64 {
+		if x[0] < 0.5 {
+			bad++
+			return math.NaN()
+		}
+		return x[0]
+	}
+	tr, err := Maximize(f, Options{Dims: 1, Steps: 10, QueryRetries: 1}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Evals) != 10 {
+		t.Fatalf("got %d evals, want 10", len(tr.Evals))
+	}
+	if bad == 0 {
+		t.Skip("seed never sampled the failing half")
+	}
+	sawInf := false
+	for _, r := range tr.Evals {
+		if math.IsNaN(r.Value) {
+			t.Fatal("NaN leaked into the trace")
+		}
+		if math.IsInf(r.Value, -1) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Fatal("exhausted retries did not pin the point at -Inf")
+	}
+	if tr.Failures < 2 {
+		t.Fatalf("Failures = %d, want >= 2 (initial + retry)", tr.Failures)
+	}
+	if best, ok := tr.Best(); !ok || math.IsInf(best.Value, -1) || best.X[0] < 0.5 {
+		t.Fatalf("best = %+v, %v — failed points must never win", best, ok)
+	}
+}
+
+func TestMaximizeFaultFreeUnchangedByRetryConfig(t *testing.T) {
+	// With no faults and a finite objective, the retry machinery must be
+	// invisible: identical trace for any QueryRetries setting.
+	f := func(x []float64) float64 { return math.Sin(7*x[0]) + x[1] }
+	run := func(retries int) *Trace {
+		tr, err := Maximize(f, Options{Dims: 2, Steps: 14, QueryRetries: retries}, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if !run(1).Equal(run(5)) {
+		t.Fatal("retry configuration changed a fault-free search")
+	}
+}
+
+func TestTraceCloneEqualCarryFailures(t *testing.T) {
+	tr := &Trace{Evals: []Result{{X: []float64{0.5}, Value: 1}}, Failures: 3}
+	c := tr.Clone()
+	if c.Failures != 3 {
+		t.Fatalf("Clone dropped Failures: %d", c.Failures)
+	}
+	if !tr.Equal(c) {
+		t.Fatal("clone not Equal")
+	}
+	c.Failures = 0
+	if tr.Equal(c) {
+		t.Fatal("Equal ignores Failures")
 	}
 }

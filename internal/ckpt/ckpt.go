@@ -221,8 +221,11 @@ func Read(r io.Reader) (*File, error) {
 		size uint64
 		crc  uint32
 	}
-	entries := make([]entry, count)
-	for i := range entries {
+	// Grow the table incrementally rather than trusting count for one big
+	// allocation: a corrupt header claiming 2^20 sections then fails at the
+	// first missing table byte instead of committing memory up front.
+	entries := make([]entry, 0, min(int(count), 1024))
+	for i := uint32(0); i < count; i++ {
 		var u16 [2]byte
 		if _, err := io.ReadFull(r, u16[:]); err != nil {
 			return nil, fmt.Errorf("ckpt: read section table: %w", noEOF(err))
@@ -236,16 +239,16 @@ func Read(r io.Reader) (*File, error) {
 		if _, err := io.ReadFull(r, tail[:]); err != nil {
 			return nil, fmt.Errorf("ckpt: read section table: %w", noEOF(err))
 		}
-		entries[i] = entry{
+		entries = append(entries, entry{
 			name: string(name),
 			size: le.Uint64(tail[:8]),
 			crc:  le.Uint32(tail[8:12]),
-		}
+		})
 	}
-	f := &File{version: version, sections: make(map[string][]byte, count)}
+	f := &File{version: version, sections: make(map[string][]byte, len(entries))}
 	for _, e := range entries {
-		payload := make([]byte, e.size)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		payload, err := readPayload(r, e.size)
+		if err != nil {
 			return nil, fmt.Errorf("ckpt: section %q truncated: %w", e.name, noEOF(err))
 		}
 		if got := crc32.ChecksumIEEE(payload); got != e.crc {
@@ -271,6 +274,53 @@ func ReadFile(path string) (*File, error) {
 		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
 	return f, nil
+}
+
+// readPayload reads a size-prefixed payload without trusting size for the
+// allocation: it grows in bounded chunks as bytes actually arrive, so a
+// corrupt header claiming an enormous section fails at the first missing
+// byte instead of attempting a multi-gigabyte allocation.
+func readPayload(r io.Reader, size uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if size <= chunk {
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var buf bytes.Buffer
+	for remaining := size; remaining > 0; {
+		n := uint64(chunk)
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+			return nil, err
+		}
+		remaining -= n
+	}
+	return buf.Bytes(), nil
+}
+
+// RemoveStaleTemps deletes leftover "<base>.tmp-*" siblings of the
+// checkpoint at path — debris a WriteFile can strand if the process dies
+// between creating the temporary file and renaming it into place (e.g. a
+// second SIGINT mid-write). It returns how many files were removed.
+// Callers run it at startup, before writing to path.
+func RemoveStaleTemps(path string) (int, error) {
+	pattern := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: scan stale temps: %w", err)
+	}
+	removed := 0
+	for _, m := range matches {
+		if err := os.Remove(m); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a fixed-layout

@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -243,5 +244,70 @@ func TestSourceSeedResetsCount(t *testing.T) {
 	s.Seed(9)
 	if st := s.State(); st.Seed != 9 || st.Count != 0 {
 		t.Fatalf("state after Seed = %+v", st)
+	}
+}
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	// A real checkpoint plus two stranded temps (what an interrupted
+	// WriteFile leaves behind) and one unrelated file.
+	w := NewWriter()
+	if err := w.Add("s", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"run.ckpt.tmp-123", "run.ckpt.tmp-zzz"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "other.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := RemoveStaleTemps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("removed %d temps, want 2", n)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("directory holds %v, want checkpoint + other.txt", left)
+	}
+	// The checkpoint itself must survive and stay readable.
+	if _, err := ReadFile(path); err != nil {
+		t.Fatalf("checkpoint damaged by temp sweep: %v", err)
+	}
+	// Idempotent on a clean directory.
+	if n, err := RemoveStaleTemps(path); err != nil || n != 0 {
+		t.Fatalf("second sweep: n=%d err=%v", n, err)
+	}
+}
+
+func TestReadRejectsHugeClaimedPayloadWithoutAllocating(t *testing.T) {
+	// A header claiming a 2^60-byte section with no bytes behind it must
+	// fail as a truncation, not attempt the allocation.
+	w := NewWriter()
+	if err := w.Add("agent", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Offset of payloadLen: 16-byte header + 2-byte nameLen + "agent".
+	binary.LittleEndian.PutUint64(data[16+2+5:], 1<<60)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt size accepted")
 	}
 }

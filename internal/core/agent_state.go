@@ -37,6 +37,8 @@ func replaceDiscreteAgent(cur **rl.DiscreteAgent, r io.Reader) error {
 	}
 	loaded.Metrics = old.Metrics
 	loaded.UpdateWorkers = old.UpdateWorkers
+	loaded.Guard = old.Guard
+	loaded.Faults = old.Faults
 	*cur = loaded
 	return nil
 }
@@ -55,6 +57,8 @@ func replaceGaussianAgent(cur **rl.GaussianAgent, r io.Reader) error {
 	}
 	loaded.Metrics = old.Metrics
 	loaded.UpdateWorkers = old.UpdateWorkers
+	loaded.Guard = old.Guard
+	loaded.Faults = old.Faults
 	*cur = loaded
 	return nil
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"os"
 
 	"github.com/genet-go/genet/internal/bo"
 	"github.com/genet-go/genet/internal/ckpt"
+	"github.com/genet-go/genet/internal/faults"
 )
 
 // Checkpoint/resume for the curriculum trainer.
@@ -28,7 +30,11 @@ import (
 // round-trips bit-exactly, a resumed run reproduces the uninterrupted run's
 // weights, metrics, and curriculum decisions bit for bit (within one kernel
 // path — see nn.KernelName).
-const trainerStateVersion = 1
+//
+// Version history: v1 had no quarantine list and no per-round recovery
+// events; v2 added both. Readers accept 1..trainerStateVersion (a v1 file
+// simply restores with no quarantines).
+const trainerStateVersion = 2
 
 // Checkpoint section names.
 const (
@@ -87,6 +93,19 @@ func (c *checkpointer) safePoint(t *Trainer, st *runState, round int) (stop bool
 	return false, nil
 }
 
+// rollbackPath returns the checkpoint file the guard's rollback policy can
+// restore, or "" when rollback is unavailable (plain Run, no path
+// configured, or nothing written yet).
+func (c *checkpointer) rollbackPath() string {
+	if c == nil || c.opts.Path == "" {
+		return ""
+	}
+	if _, err := os.Stat(c.opts.Path); err != nil {
+		return ""
+	}
+	return c.opts.Path
+}
+
 // finish persists the completed run so the final model and report survive.
 func (c *checkpointer) finish(t *Trainer, st *runState) error {
 	if c == nil || c.opts.Path == "" {
@@ -139,6 +158,16 @@ type trainerWire struct {
 	Floor       float64
 	Promotions  []promotionWire
 	Rounds      []roundWire
+	// Quarantines (v2+) records which promotions the guard removed from
+	// the sampling mixture; replaying them after the Promote calls
+	// rebuilds the distribution bit-exactly.
+	Quarantines []quarantineWire
+}
+
+// quarantineWire is one Distribution.Quarantine call.
+type quarantineWire struct {
+	Index  int
+	Reason string
 }
 
 // promotionWire is one Distribution.Promote call: the promoted
@@ -158,6 +187,7 @@ type roundWire struct {
 	SearchEvals  int
 	TrainRewards []float64
 	Search       *bo.Trace
+	Recoveries   []RecoveryEvent // v2+
 }
 
 func (t *Trainer) wireState(st *runState) trainerWire {
@@ -177,6 +207,12 @@ func (t *Trainer) wireState(st *runState) trainerWire {
 			Weight: weights[i],
 		})
 	}
+	for _, q := range rep.Distribution.Quarantines() {
+		wire.Quarantines = append(wire.Quarantines, quarantineWire{
+			Index:  q.Index,
+			Reason: q.Reason,
+		})
+	}
 	for _, r := range rep.Rounds {
 		wire.Rounds = append(wire.Rounds, roundWire{
 			Round:        r.Round,
@@ -185,6 +221,7 @@ func (t *Trainer) wireState(st *runState) trainerWire {
 			SearchEvals:  r.SearchEvals,
 			TrainRewards: append([]float64(nil), r.TrainRewards...),
 			Search:       r.Search.Clone(),
+			Recoveries:   append([]RecoveryEvent(nil), r.Recoveries...),
 		})
 	}
 	return wire
@@ -209,8 +246,41 @@ func (t *Trainer) writeCheckpoint(path string, st *runState, rng *ckpt.Rand) err
 	if err := w.AddGob(secRNG, rng.State()); err != nil {
 		return err
 	}
-	return w.WriteFile(path)
+	// Bounded retry: a checkpoint write failure (injected at the
+	// ckpt-write site, or a real transient filesystem error) is retried up
+	// to ckptWriteAttempts times before aborting the run. Retries touch no
+	// rng, so they cannot perturb training determinism. A write that
+	// needed retries is recorded as a ckpt-retry recovery event on the
+	// most recent round so chaos reports show it.
+	var err error
+	for attempt := 1; attempt <= ckptWriteAttempts; attempt++ {
+		if t.opts.Faults.Fire(faults.CkptWriteFail) {
+			err = fmt.Errorf("core: checkpoint write: injected %s fault", faults.CkptWriteFail)
+		} else {
+			err = w.WriteFile(path)
+		}
+		if err == nil {
+			if attempt > 1 {
+				if m := t.opts.Metrics; m.Enabled() {
+					m.Counter("guard/ckpt_retries").Add(int64(attempt - 1))
+				}
+				if n := len(st.rep.Rounds); n > 0 {
+					st.rep.Rounds[n-1].Recoveries = append(st.rep.Rounds[n-1].Recoveries, RecoveryEvent{
+						Kind:   "ckpt-retry",
+						Round:  st.rep.Rounds[n-1].Round,
+						Count:  attempt,
+						Detail: fmt.Sprintf("checkpoint write succeeded on attempt %d", attempt),
+					})
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: checkpoint write failed after %d attempts: %w", ckptWriteAttempts, err)
 }
+
+// ckptWriteAttempts bounds the checkpoint-write retry loop.
+const ckptWriteAttempts = 3
 
 func (t *Trainer) restore(path string) (*runState, *ckpt.Rand, error) {
 	f, err := ckpt.ReadFile(path)
@@ -260,6 +330,11 @@ func (t *Trainer) restore(path string) (*runState, *ckpt.Rand, error) {
 		}
 	}
 	rep.Distribution.SetExplorationFloor(wire.Floor)
+	for _, q := range wire.Quarantines {
+		if err := rep.Distribution.Quarantine(q.Index, q.Reason); err != nil {
+			return nil, nil, fmt.Errorf("core: resume quarantine: %w", err)
+		}
+	}
 	for _, r := range wire.Rounds {
 		cfg, err := space.NewConfig(r.Promoted)
 		if err != nil {
@@ -272,6 +347,7 @@ func (t *Trainer) restore(path string) (*runState, *ckpt.Rand, error) {
 			SearchEvals:  r.SearchEvals,
 			TrainRewards: r.TrainRewards,
 			Search:       r.Search,
+			Recoveries:   r.Recoveries,
 		})
 	}
 	return st, ckpt.RestoreRand(rst), nil

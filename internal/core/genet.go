@@ -7,6 +7,8 @@ import (
 
 	"github.com/genet-go/genet/internal/bo"
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 )
 
@@ -139,6 +141,20 @@ type Options struct {
 	// registry observes the whole stack. Telemetry is observation-only —
 	// it never draws from rng — so attaching it cannot change a run.
 	Metrics *metrics.Registry
+	// Guard optionally arms the training-health watchdog. NewTrainer
+	// attaches it to the harness agent (pre-apply NaN/divergence scan,
+	// rollout-panic containment) and the trainer enforces its recovery
+	// policy at round boundaries: quarantining a promoted configuration
+	// after consecutive faulty rollouts and rolling back to the last
+	// checkpoint after consecutive unhealthy updates. A guard observing a
+	// healthy run consumes no randomness and changes nothing, so arming it
+	// on a fault-free run is bit-invisible.
+	Guard *guard.Guard
+	// Faults optionally injects deterministic faults for chaos testing;
+	// NewTrainer threads it through the harness agent (env-step panics,
+	// poisoned gradients, corrupted traces), the BO search (query
+	// failures), and the checkpoint writer (write failures). nil = off.
+	Faults *faults.Injector
 }
 
 // SearchKind selects how the sequencing module explores the config space.
@@ -177,6 +193,28 @@ func (o *Options) defaults() {
 	}
 }
 
+// RecoveryEvent records one guard intervention during training. Events
+// accumulate while a round is in flight (including rounds whose state a
+// rollback discarded) and land in the next completed RoundReport, so the
+// report of a recovered run shows what it took to finish.
+type RecoveryEvent struct {
+	// Kind is "rollback" (trainer restored the last checkpoint),
+	// "rollback-unavailable" (rollback demanded but no checkpoint
+	// exists), "quarantine" (a promoted config was removed from the
+	// curriculum), "skipped-updates" (poisoned minibatch applies vetoed
+	// this round), or "ckpt-retry" (checkpoint write succeeded only
+	// after retries).
+	Kind string
+	// Round is the curriculum round in flight when the event fired.
+	Round int
+	// Count is the triggering magnitude: the unhealthy-update or
+	// rollout-fault streak, the number of skipped updates, or the number
+	// of write attempts.
+	Count int
+	// Detail is a human-readable reason (e.g. the contained panic).
+	Detail string
+}
+
 // RoundReport records one curriculum round.
 type RoundReport struct {
 	Round        int
@@ -188,6 +226,10 @@ type RoundReport struct {
 	// (every evaluated point with its objective value). Heuristic
 	// curricula, which do not search, leave it nil.
 	Search *bo.Trace
+	// Recoveries lists the guard interventions that fired while this
+	// round (or a discarded attempt at it) was in flight; empty on
+	// healthy rounds.
+	Recoveries []RecoveryEvent
 }
 
 // Report is the outcome of a Genet run.
@@ -232,11 +274,21 @@ type Trainer struct {
 }
 
 // NewTrainer builds a trainer; opts fields at zero take Algorithm 2
-// defaults. A non-nil opts.Metrics is attached to the harness as well.
+// defaults. A non-nil opts.Metrics is attached to the harness as well,
+// and a non-nil Guard or Faults is threaded through to the harness agent.
 func NewTrainer(h Harness, opts Options) *Trainer {
 	opts.defaults()
 	if opts.Metrics.Enabled() {
 		SetHarnessMetrics(h, opts.Metrics)
+	}
+	if opts.Guard.Enabled() {
+		SetHarnessGuard(h, opts.Guard)
+		if opts.Metrics.Enabled() {
+			opts.Guard.SetMetrics(opts.Metrics)
+		}
+	}
+	if opts.Faults != nil {
+		SetHarnessFaults(h, opts.Faults)
 	}
 	return &Trainer{h: h, opts: opts}
 }
@@ -299,7 +351,14 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 			return rep, err
 		}
 	}
-	for round := len(rep.Rounds); round < t.opts.Rounds; round++ {
+	// pendingRecoveries accumulates guard interventions until a round
+	// completes. It deliberately lives outside the (re-assignable) run
+	// state: a rollback discards the poisoned round's state but must not
+	// discard the record of the rollback itself.
+	g := t.opts.Guard
+	var pendingRecoveries []RecoveryEvent
+	for len(rep.Rounds) < t.opts.Rounds {
+		round := len(rep.Rounds)
 		cfg, score, tr, err := t.searchOnce(rng)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d search: %w", round, err)
@@ -323,6 +382,72 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 			m.Emit("curriculum/promote", fields...)
 		}
 		curve := t.h.Train(rep.Distribution, t.opts.ItersPerRound, rng)
+		if skips := g.TakeSkips(); skips > 0 {
+			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+				Kind: "skipped-updates", Round: round, Count: skips,
+			})
+		}
+		if g.RollbackNeeded() {
+			if path := ck.rollbackPath(); path != "" {
+				streak := g.UnhealthyStreak()
+				st2, rng2, err := t.restore(path)
+				if err != nil {
+					return nil, fmt.Errorf("core: round %d rollback: %w", round, err)
+				}
+				g.AcknowledgeRollback()
+				pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+					Kind: "rollback", Round: round, Count: streak,
+					Detail: fmt.Sprintf("restored %s after %d consecutive unhealthy updates", path, streak),
+				})
+				if m.Enabled() {
+					m.Emit("curriculum/rollback",
+						metrics.F{K: "round", V: float64(round)},
+						metrics.F{K: "streak", V: float64(streak)})
+				}
+				// Re-enter the loop from the restored position. The fault
+				// injector's call counters are process-lifetime (never
+				// checkpointed), so the replayed rounds see a different
+				// point in the fault schedule instead of re-hitting the
+				// same faults forever.
+				st = st2
+				rep = st.rep
+				rng = rng2.Rand
+				ck.rng = rng2
+				continue
+			}
+			// No checkpoint to restore: log and move on rather than
+			// re-demanding a rollback every round.
+			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+				Kind: "rollback-unavailable", Round: round, Count: g.UnhealthyStreak(),
+				Detail: "rollback demanded but no checkpoint is configured",
+			})
+			g.ResetUnhealthyStreak()
+		}
+		if g.QuarantineNeeded() {
+			// Attribute the fault streak to the newest promotion: its
+			// mixture weight dominates sampling, so it is overwhelmingly
+			// the configuration the faulty rollouts came from.
+			idx := rep.Distribution.NumPromoted() - 1
+			streak := g.RolloutFaultStreak()
+			reason := g.LastRolloutFault()
+			if reason == "" {
+				reason = "consecutive faulty rollouts"
+			}
+			if err := rep.Distribution.Quarantine(idx, reason); err != nil {
+				return nil, fmt.Errorf("core: round %d quarantine: %w", round, err)
+			}
+			g.AcknowledgeQuarantine()
+			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+				Kind: "quarantine", Round: round, Count: streak,
+				Detail: fmt.Sprintf("promotion %d: %s", idx, reason),
+			})
+			if m.Enabled() {
+				m.Emit("curriculum/quarantine",
+					metrics.F{K: "round", V: float64(round)},
+					metrics.F{K: "promotion", V: float64(idx)},
+					metrics.F{K: "streak", V: float64(streak)})
+			}
+		}
 		rep.Rounds = append(rep.Rounds, RoundReport{
 			Round:        round,
 			Promoted:     cfg,
@@ -330,7 +455,9 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 			SearchEvals:  evals,
 			TrainRewards: curve,
 			Search:       tr.Clone(),
+			Recoveries:   pendingRecoveries,
 		})
+		pendingRecoveries = nil
 		if t.opts.AfterRound != nil {
 			t.opts.AfterRound(round)
 		}
@@ -366,7 +493,12 @@ func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, *bo.Trace, er
 	case SearchCoordinate:
 		tr = bo.CoordinateSearch(objective, space.NumDims(), 5, t.opts.BOSteps, rng)
 	default:
-		tr, err = bo.Maximize(objective, bo.Options{Dims: space.NumDims(), Steps: t.opts.BOSteps, Metrics: t.opts.Metrics}, rng)
+		tr, err = bo.Maximize(objective, bo.Options{
+			Dims:    space.NumDims(),
+			Steps:   t.opts.BOSteps,
+			Metrics: t.opts.Metrics,
+			Faults:  t.opts.Faults,
+		}, rng)
 		if err != nil {
 			return env.Config{}, 0, nil, err
 		}

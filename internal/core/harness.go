@@ -16,6 +16,8 @@ import (
 	"math/rand"
 
 	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 )
 
@@ -113,6 +115,52 @@ func SetHarnessMetrics(h Harness, m *metrics.Registry) {
 		s.SetMetrics(m)
 	}
 }
+
+// GuardSetter is implemented by harnesses whose agent supports the
+// training-health watchdog. Like MetricsSetter it is optional so
+// third-party harnesses keep compiling.
+type GuardSetter interface {
+	SetGuard(*guard.Guard)
+}
+
+// FaultSetter is implemented by harnesses whose agent supports
+// deterministic fault injection (chaos testing).
+type FaultSetter interface {
+	SetFaults(*faults.Injector)
+}
+
+// SetHarnessGuard arms the watchdog on harnesses that support it.
+func SetHarnessGuard(h Harness, g *guard.Guard) {
+	if s, ok := h.(GuardSetter); ok {
+		s.SetGuard(g)
+	}
+}
+
+// SetHarnessFaults attaches the fault injector on harnesses that
+// support it.
+func SetHarnessFaults(h Harness, in *faults.Injector) {
+	if s, ok := h.(FaultSetter); ok {
+		s.SetFaults(in)
+	}
+}
+
+// SetGuard implements GuardSetter.
+func (h *ABRHarness) SetGuard(g *guard.Guard) { h.Agent.Guard = g }
+
+// SetFaults implements FaultSetter.
+func (h *ABRHarness) SetFaults(in *faults.Injector) { h.Agent.Faults = in }
+
+// SetGuard implements GuardSetter.
+func (h *LBHarness) SetGuard(g *guard.Guard) { h.Agent.Guard = g }
+
+// SetFaults implements FaultSetter.
+func (h *LBHarness) SetFaults(in *faults.Injector) { h.Agent.Faults = in }
+
+// SetGuard implements GuardSetter.
+func (h *CCHarness) SetGuard(g *guard.Guard) { h.Agent.Guard = g }
+
+// SetFaults implements FaultSetter.
+func (h *CCHarness) SetFaults(in *faults.Injector) { h.Agent.Faults = in }
 
 // emitTrainIter streams one training-iteration reward sample; harness Train
 // loops call it once per iteration. Telemetry is observation-only — it never

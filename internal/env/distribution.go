@@ -19,10 +19,12 @@ import (
 // still accounts for about 10%" with w=0.3... (0.7)^9 ≈ 4%; the paper's 10%
 // figure counts its warm-up rounds, which we reproduce in the trainer).
 type Distribution struct {
-	space     *Space
-	promoted  []Config
-	weights   []float64 // promotion weight w used at each Promote call
-	maxConfig int       // optional cap on retained promotions (0 = unlimited)
+	space       *Space
+	promoted    []Config
+	weights     []float64 // promotion weight w used at each Promote call
+	quarantined []bool    // parallel to promoted: removed from sampling
+	qreasons    []string  // parallel to promoted: why (empty if healthy)
+	maxConfig   int       // optional cap on retained promotions (0 = unlimited)
 	// exploreFloor forces at least this probability of a uniform base
 	// draw regardless of promotions — the classic anti-forgetting
 	// strategy the paper tried and found harmful (§4.2, footnote 7). It
@@ -61,9 +63,14 @@ func (d *Distribution) Promote(c Config, w float64) error {
 	}
 	d.promoted = append(d.promoted, c)
 	d.weights = append(d.weights, w)
+	d.quarantined = append(d.quarantined, false)
+	d.qreasons = append(d.qreasons, "")
 	if d.maxConfig > 0 && len(d.promoted) > d.maxConfig {
-		d.promoted = d.promoted[len(d.promoted)-d.maxConfig:]
-		d.weights = d.weights[len(d.weights)-d.maxConfig:]
+		drop := len(d.promoted) - d.maxConfig
+		d.promoted = d.promoted[drop:]
+		d.weights = d.weights[drop:]
+		d.quarantined = d.quarantined[drop:]
+		d.qreasons = d.qreasons[drop:]
 	}
 	return nil
 }
@@ -89,36 +96,100 @@ func (d *Distribution) Weights() []float64 {
 func (d *Distribution) ExplorationFloor() float64 { return d.exploreFloor }
 
 // BaseWeight returns the probability mass remaining on the uniform base
-// distribution.
+// distribution. Quarantined promotions contribute no mass: their share
+// falls through to older promotions and ultimately the base space.
 func (d *Distribution) BaseWeight() float64 {
 	p := 1.0
-	for _, w := range d.weights {
+	for i, w := range d.weights {
+		if d.quarantined[i] {
+			continue
+		}
 		p *= 1 - w
 	}
 	return p
 }
 
 // PromotionWeight returns the current sampling probability of the i-th
-// promotion (oldest = 0).
+// promotion (oldest = 0). Quarantined promotions sample with probability 0.
 func (d *Distribution) PromotionWeight(i int) float64 {
-	if i < 0 || i >= len(d.promoted) {
+	if i < 0 || i >= len(d.promoted) || d.quarantined[i] {
 		return 0
 	}
 	p := d.weights[i]
-	for _, w := range d.weights[i+1:] {
-		p *= 1 - w
+	for j := i + 1; j < len(d.weights); j++ {
+		if d.quarantined[j] {
+			continue
+		}
+		p *= 1 - d.weights[j]
 	}
 	return p
+}
+
+// Quarantine removes the i-th promotion (oldest = 0) from the sampling
+// mixture, recording why. The config stays in Promoted() — quarantine is an
+// audit-visible veto, not an erasure — but Sample will never return it and
+// its mixture mass falls through to the remaining entries. Quarantining an
+// already-quarantined promotion keeps the original reason.
+func (d *Distribution) Quarantine(i int, reason string) error {
+	if i < 0 || i >= len(d.promoted) {
+		return fmt.Errorf("env: quarantine index %d out of range [0,%d)", i, len(d.promoted))
+	}
+	if d.quarantined[i] {
+		return nil
+	}
+	d.quarantined[i] = true
+	d.qreasons[i] = reason
+	return nil
+}
+
+// IsQuarantined reports whether the i-th promotion is quarantined.
+func (d *Distribution) IsQuarantined(i int) bool {
+	return i >= 0 && i < len(d.quarantined) && d.quarantined[i]
+}
+
+// NumQuarantined returns how many promotions are quarantined.
+func (d *Distribution) NumQuarantined() int {
+	n := 0
+	for _, q := range d.quarantined {
+		if q {
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantineRecord identifies one quarantined promotion.
+type QuarantineRecord struct {
+	Index  int // position in Promoted(), oldest = 0
+	Reason string
+}
+
+// Quarantines returns the quarantined promotions, oldest first.
+func (d *Distribution) Quarantines() []QuarantineRecord {
+	var recs []QuarantineRecord
+	for i, q := range d.quarantined {
+		if q {
+			recs = append(recs, QuarantineRecord{Index: i, Reason: d.qreasons[i]})
+		}
+	}
+	return recs
 }
 
 // Sample draws a configuration: newest promotions first by their mixture
 // weights, otherwise a uniform draw from the base space. An exploration
 // floor, when set, preempts the mixture with a uniform draw.
+//
+// Quarantined promotions are skipped without consuming randomness, so a run
+// that never quarantines draws the same rng sequence — and therefore the
+// same configs — as one trained before quarantine existed.
 func (d *Distribution) Sample(rng *rand.Rand) Config {
 	if d.exploreFloor > 0 && rng.Float64() < d.exploreFloor {
 		return d.space.Sample(rng)
 	}
 	for i := len(d.promoted) - 1; i >= 0; i-- {
+		if d.quarantined[i] {
+			continue
+		}
 		if rng.Float64() < d.weights[i] {
 			return d.promoted[i]
 		}
@@ -133,6 +204,8 @@ func (d *Distribution) Clone() *Distribution {
 		space:        d.space,
 		promoted:     append([]Config(nil), d.promoted...),
 		weights:      append([]float64(nil), d.weights...),
+		quarantined:  append([]bool(nil), d.quarantined...),
+		qreasons:     append([]string(nil), d.qreasons...),
 		maxConfig:    d.maxConfig,
 		exploreFloor: d.exploreFloor,
 	}
@@ -143,6 +216,10 @@ func (d *Distribution) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "base(uniform)=%.1f%%", 100*d.BaseWeight())
 	for i := range d.promoted {
+		if d.quarantined[i] {
+			fmt.Fprintf(&b, " quarantined[%s]", d.promoted[i])
+			continue
+		}
 		fmt.Fprintf(&b, " +%.1f%%[%s]", 100*d.PromotionWeight(i), d.promoted[i])
 	}
 	return b.String()

@@ -3,6 +3,7 @@ package env
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -152,5 +153,158 @@ func TestPromotionWeightOutOfRange(t *testing.T) {
 	d := NewDistribution(s)
 	if d.PromotionWeight(0) != 0 || d.PromotionWeight(-1) != 0 {
 		t.Fatal("out-of-range PromotionWeight should be 0")
+	}
+}
+
+func TestQuarantineRemovesFromSampling(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	bad := s.Default(nil).With("a", 7.25)
+	if err := d.Promote(bad, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(0, "rollout panics"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsQuarantined(0) || d.NumQuarantined() != 1 {
+		t.Fatal("quarantine not recorded")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		if d.Sample(rng).Get("a") == 7.25 {
+			t.Fatal("quarantined config sampled")
+		}
+	}
+	// Its mass falls through: the base reclaims everything.
+	if got := d.BaseWeight(); got != 1 {
+		t.Fatalf("BaseWeight = %v, want 1 after quarantining the only promotion", got)
+	}
+	if d.PromotionWeight(0) != 0 {
+		t.Fatal("quarantined promotion still has sampling weight")
+	}
+	// The config remains visible for auditing.
+	if d.NumPromoted() != 1 {
+		t.Fatal("quarantine erased the promotion record")
+	}
+	recs := d.Quarantines()
+	if len(recs) != 1 || recs[0].Index != 0 || recs[0].Reason != "rollout panics" {
+		t.Fatalf("Quarantines = %+v", recs)
+	}
+}
+
+func TestQuarantineMassFallsThrough(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Promote(s.Default(nil).With("a", 1), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Promote(s.Default(nil).With("a", 2), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(1, "nan storm"); err != nil {
+		t.Fatal(err)
+	}
+	// With the newest gone, the older promotion samples at its raw weight.
+	if got := d.PromotionWeight(0); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("older weight = %v, want 0.3", got)
+	}
+	if got := d.BaseWeight(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("base weight = %v, want 0.7", got)
+	}
+	sum := d.BaseWeight()
+	for i := 0; i < d.NumPromoted(); i++ {
+		sum += d.PromotionWeight(i)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestQuarantineConsumesNoRandomness(t *testing.T) {
+	// A quarantined entry must be skipped silently: the rng sequence —
+	// and hence every downstream draw — matches a distribution that never
+	// had the entry at all. This is what keeps quarantine-free guarded
+	// runs bit-identical to unguarded ones.
+	s := testSpace(t)
+	withQ := NewDistribution(s)
+	if err := withQ.Promote(s.Default(nil).With("a", 1), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := withQ.Promote(s.Default(nil).With("a", 2), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := withQ.Quarantine(1, "faulty"); err != nil {
+		t.Fatal(err)
+	}
+	without := NewDistribution(s)
+	if err := without.Promote(s.Default(nil).With("a", 1), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewSource(17))
+	r2 := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		a := withQ.Sample(r1)
+		b := without.Sample(r2)
+		if a.String() != b.String() {
+			t.Fatalf("draw %d: %s vs %s", i, a, b)
+		}
+	}
+}
+
+func TestQuarantineErrorsAndIdempotence(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Quarantine(0, "x"); err == nil {
+		t.Fatal("out-of-range quarantine accepted")
+	}
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(0, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(0, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if recs := d.Quarantines(); len(recs) != 1 || recs[0].Reason != "first" {
+		t.Fatalf("re-quarantine overwrote reason: %+v", recs)
+	}
+}
+
+func TestCloneCopiesQuarantine(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(0, "bad"); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	if !c.IsQuarantined(0) {
+		t.Fatal("clone lost quarantine flag")
+	}
+	if err := c.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quarantine(1, "also bad"); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumQuarantined() != 1 || c.NumQuarantined() != 2 {
+		t.Fatalf("clone not independent: %d vs %d", d.NumQuarantined(), c.NumQuarantined())
+	}
+}
+
+func TestQuarantinedString(t *testing.T) {
+	s := testSpace(t)
+	d := NewDistribution(s)
+	if err := d.Promote(s.Default(nil), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Quarantine(0, "bad"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); !strings.Contains(got, "quarantined") {
+		t.Fatalf("String does not mark quarantine: %q", got)
 	}
 }

@@ -1,0 +1,425 @@
+// Package guard is the training-health watchdog: it scans gradients and
+// parameters for NaN/Inf before every optimizer apply, tracks rolling
+// loss/entropy/grad-norm statistics to detect divergence and entropy
+// collapse, and drives a configurable recovery policy — skip the
+// poisoned update, quarantine an environment configuration after K
+// consecutive faulty rollouts, and roll the trainer back to its last
+// checkpoint safe point after N consecutive unhealthy updates.
+//
+// A *Guard follows the same nil-safety discipline as internal/metrics'
+// *Registry and internal/faults' *Injector: nil means "watchdog off",
+// every method is safe to call on nil, and the disabled path is a
+// single nil check with zero allocations, so instrumented hot paths
+// cost nothing in production runs that don't opt in.
+//
+// The guard is an observer on the update path: with zero faults and
+// default thresholds it never mutates training state, consumes no
+// randomness, and leaves a guarded run bit-identical to an unguarded
+// one — a property pinned by the chaos golden in internal/core.
+package guard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/stats"
+)
+
+// Verdict classifies one observed update.
+type Verdict uint8
+
+const (
+	// Healthy: apply the update.
+	Healthy Verdict = iota
+	// NonFinite: NaN/Inf in losses, gradients, or parameters — skip.
+	NonFinite
+	// Diverging: grad norm blew past the rolling baseline — skip.
+	Diverging
+	// EntropyCollapse: policy entropy fell below the floor — skip.
+	EntropyCollapse
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "healthy"
+	case NonFinite:
+		return "non-finite"
+	case Diverging:
+		return "diverging"
+	case EntropyCollapse:
+		return "entropy-collapse"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Config sets detection thresholds and the recovery policy. The zero
+// value enables only NaN/Inf detection: divergence and entropy-collapse
+// checks are opt-in because their thresholds are workload-dependent,
+// and a guarded run must stay bit-identical to an unguarded one unless
+// something is actually wrong.
+type Config struct {
+	// Window is the rolling-statistics window length (updates). 0 means
+	// the default of 32.
+	Window int
+	// DivergenceFactor flags an update whose gradient norm exceeds
+	// factor × the rolling mean norm (checked once the window is at
+	// least half full). 0 disables divergence detection.
+	DivergenceFactor float64
+	// EntropyFloor flags an update whose policy entropy is below the
+	// floor. 0 disables entropy-collapse detection.
+	EntropyFloor float64
+	// RollbackAfter rolls the trainer back to its last checkpoint safe
+	// point after this many consecutive unhealthy updates. 0 disables
+	// auto-rollback.
+	RollbackAfter int
+	// MaxRollbacks caps rollbacks per run so a persistent fault (one
+	// that replays identically after restore) cannot loop forever.
+	// 0 means the default of 3.
+	MaxRollbacks int
+	// QuarantineAfter quarantines the newest promoted environment
+	// configuration after this many consecutive faulty rollouts.
+	// 0 disables quarantine.
+	QuarantineAfter int
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return 32
+	}
+	return c.Window
+}
+
+func (c Config) maxRollbacks() int {
+	if c.MaxRollbacks <= 0 {
+		return 3
+	}
+	return c.MaxRollbacks
+}
+
+// UpdateObs is one pre-apply observation of an optimizer step.
+type UpdateObs struct {
+	PolicyLoss, ValueLoss float64
+	Entropy               float64
+	// GradNorm and ValueGradNorm are the pre-clip global norms of the
+	// policy and value gradients; NaN/Inf here is how poisoned
+	// gradients surface (a norm is a full scan of every entry).
+	GradNorm, ValueGradNorm float64
+	// ParamsFinite is the result of the caller's parameter scan; false
+	// means the nets themselves are already poisoned.
+	ParamsFinite bool
+}
+
+// Stats is a snapshot of the guard's counters.
+type Stats struct {
+	Updates         int // updates observed
+	Skipped         int // updates skipped (any unhealthy verdict)
+	NonFinite       int // skips due to NaN/Inf
+	Diverging       int // skips due to divergence
+	EntropyCollapse int // skips due to entropy collapse
+	RolloutFaults   int // contained rollout panics
+	Quarantines     int // env configs quarantined
+	Rollbacks       int // checkpoint rollbacks executed
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("updates=%d skipped=%d non-finite=%d diverging=%d entropy-collapse=%d rollout-faults=%d quarantines=%d rollbacks=%d",
+		s.Updates, s.Skipped, s.NonFinite, s.Diverging, s.EntropyCollapse, s.RolloutFaults, s.Quarantines, s.Rollbacks)
+}
+
+// Guard is the watchdog. Build with New; nil is a valid "off" guard.
+//
+// Concurrency: CheckUpdate and the recovery-policy methods are called
+// from the (single) training loop goroutine; RecordRolloutFault may be
+// called from parallel rollout workers and is the only method that
+// takes the mutex on a hot-ish path — it only runs when a rollout
+// actually panicked, which is already the slow path.
+type Guard struct {
+	cfg Config
+	reg *metrics.Registry
+
+	lossW, entW, normW ring
+	scratch            []float64
+
+	st                  Stats
+	skipMark            int
+	consecUnhealthy     int
+	consecRolloutFaults int
+
+	mu            sync.Mutex
+	lastFaultMsg  string
+	pendingFaults int // rollout faults recorded by workers, not yet folded
+}
+
+// New returns an armed guard with the given config.
+func New(cfg Config) *Guard {
+	g := &Guard{cfg: cfg}
+	w := cfg.window()
+	g.lossW.init(w)
+	g.entW.init(w)
+	g.normW.init(w)
+	g.scratch = make([]float64, 0, w)
+	return g
+}
+
+// Enabled reports whether the watchdog is on. Nil-safe; this is the one
+// check instrumented hot paths make before doing any guard work.
+func (g *Guard) Enabled() bool { return g != nil }
+
+// SetMetrics attaches a telemetry registry for guard/* counters.
+// Nil-safe; a nil registry detaches.
+func (g *Guard) SetMetrics(reg *metrics.Registry) {
+	if g == nil {
+		return
+	}
+	g.reg = reg
+}
+
+// Config returns the guard's configuration (zero Config when nil).
+func (g *Guard) Config() Config {
+	if g == nil {
+		return Config{}
+	}
+	return g.cfg
+}
+
+// CheckUpdate classifies one pre-apply observation and records it in
+// the rolling statistics. Any verdict other than Healthy means the
+// caller must skip the optimizer apply for this minibatch. Nil-safe:
+// a nil guard always answers Healthy.
+func (g *Guard) CheckUpdate(o UpdateObs) Verdict {
+	if g == nil {
+		return Healthy
+	}
+	g.st.Updates++
+	v := g.classify(o)
+	if v == Healthy {
+		g.consecUnhealthy = 0
+		// Only healthy observations enter the windows: a poisoned loss
+		// must not drag the baseline that detects the next poisoning.
+		g.lossW.push(o.PolicyLoss)
+		g.entW.push(o.Entropy)
+		g.normW.push(o.GradNorm)
+	} else {
+		g.consecUnhealthy++
+		g.st.Skipped++
+		switch v {
+		case NonFinite:
+			g.st.NonFinite++
+			g.reg.Counter("guard/nonfinite").Inc()
+		case Diverging:
+			g.st.Diverging++
+			g.reg.Counter("guard/diverging").Inc()
+		case EntropyCollapse:
+			g.st.EntropyCollapse++
+			g.reg.Counter("guard/entropy_collapse").Inc()
+		}
+		g.reg.Counter("guard/skipped_updates").Inc()
+		g.reg.Emit("guard/skip",
+			metrics.F{K: "verdict", V: float64(v)},
+			metrics.F{K: "consecutive", V: float64(g.consecUnhealthy)})
+	}
+	return v
+}
+
+func (g *Guard) classify(o UpdateObs) Verdict {
+	if !o.ParamsFinite ||
+		!finite(o.PolicyLoss) || !finite(o.ValueLoss) ||
+		!finite(o.Entropy) || !finite(o.GradNorm) || !finite(o.ValueGradNorm) {
+		return NonFinite
+	}
+	if f := g.cfg.EntropyFloor; f > 0 && o.Entropy < f {
+		return EntropyCollapse
+	}
+	if f := g.cfg.DivergenceFactor; f > 0 && g.normW.n*2 >= g.normW.cap() {
+		// TrySummarize (not Summarize): the window holds only values
+		// that passed the finite check above, but the watchdog must
+		// never be able to panic on the data it polices.
+		if s, err := stats.TrySummarize(g.normW.values(&g.scratch)); err == nil &&
+			s.Mean > 0 && o.GradNorm > f*s.Mean {
+			return Diverging
+		}
+	}
+	return Healthy
+}
+
+// RecordRolloutFault records one contained rollout panic. Safe to call
+// from parallel rollout workers; nil-safe.
+func (g *Guard) RecordRolloutFault(v any) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.pendingFaults++
+	g.lastFaultMsg = fmt.Sprint(v)
+	g.mu.Unlock()
+	g.reg.Counter("guard/rollout_faults").Inc()
+}
+
+// ObserveRollouts folds the faults recorded since the last call into
+// the consecutive-fault counter: an iteration with zero faults resets
+// it, one with faults extends it. Called once per training iteration
+// from the training loop, after the parallel collect completes.
+func (g *Guard) ObserveRollouts() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	n := g.pendingFaults
+	g.pendingFaults = 0
+	g.mu.Unlock()
+	if n == 0 {
+		g.consecRolloutFaults = 0
+		return
+	}
+	g.st.RolloutFaults += n
+	g.consecRolloutFaults += n
+}
+
+// LastRolloutFault returns the message of the most recent contained
+// rollout panic ("" if none). Used as the quarantine reason.
+func (g *Guard) LastRolloutFault() string {
+	if g == nil {
+		return ""
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lastFaultMsg
+}
+
+// QuarantineNeeded reports whether the consecutive-rollout-fault count
+// has reached the policy threshold. Nil-safe.
+func (g *Guard) QuarantineNeeded() bool {
+	return g != nil && g.cfg.QuarantineAfter > 0 &&
+		g.consecRolloutFaults >= g.cfg.QuarantineAfter
+}
+
+// AcknowledgeQuarantine resets the fault streak after the trainer has
+// quarantined a configuration.
+func (g *Guard) AcknowledgeQuarantine() {
+	if g == nil {
+		return
+	}
+	g.st.Quarantines++
+	g.consecRolloutFaults = 0
+	g.reg.Counter("guard/quarantines").Inc()
+}
+
+// RollbackNeeded reports whether the consecutive-unhealthy-update count
+// has reached the policy threshold and rollback budget remains.
+// Nil-safe.
+func (g *Guard) RollbackNeeded() bool {
+	return g != nil && g.cfg.RollbackAfter > 0 &&
+		g.consecUnhealthy >= g.cfg.RollbackAfter &&
+		g.st.Rollbacks < g.cfg.maxRollbacks()
+}
+
+// AcknowledgeRollback resets the unhealthy streak and the rolling
+// windows (the restored trainer is at an older, healthy point whose
+// statistics the current windows no longer describe) and consumes one
+// unit of rollback budget.
+func (g *Guard) AcknowledgeRollback() {
+	if g == nil {
+		return
+	}
+	g.st.Rollbacks++
+	g.consecUnhealthy = 0
+	g.lossW.reset()
+	g.entW.reset()
+	g.normW.reset()
+	g.reg.Counter("guard/rollbacks").Inc()
+}
+
+// UnhealthyStreak returns the current consecutive-unhealthy-update count
+// (0 when nil); recovery events record it as the triggering streak.
+func (g *Guard) UnhealthyStreak() int {
+	if g == nil {
+		return 0
+	}
+	return g.consecUnhealthy
+}
+
+// RolloutFaultStreak returns the current consecutive-faulty-rollout count
+// (0 when nil).
+func (g *Guard) RolloutFaultStreak() int {
+	if g == nil {
+		return 0
+	}
+	return g.consecRolloutFaults
+}
+
+// ResetUnhealthyStreak clears the consecutive-unhealthy counter without
+// consuming rollback budget — used when rollback is demanded but no
+// checkpoint exists to restore, so the trainer logs and moves on
+// instead of re-demanding every round.
+func (g *Guard) ResetUnhealthyStreak() {
+	if g == nil {
+		return
+	}
+	g.consecUnhealthy = 0
+}
+
+// TakeSkips returns the number of updates skipped since the previous
+// TakeSkips call; the trainer uses the delta to attach one aggregate
+// skip event per round.
+func (g *Guard) TakeSkips() int {
+	if g == nil {
+		return 0
+	}
+	d := g.st.Skipped - g.skipMark
+	g.skipMark = g.st.Skipped
+	return d
+}
+
+// Snapshot returns the current counters (zero Stats when nil).
+func (g *Guard) Snapshot() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	pending := g.pendingFaults
+	g.mu.Unlock()
+	st := g.st
+	st.RolloutFaults += pending
+	return st
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// ring is a fixed-size rolling window. No allocation after init.
+type ring struct {
+	buf []float64
+	n   int // values stored (saturates at len(buf))
+	i   int // next write index
+}
+
+func (r *ring) init(capacity int) { r.buf = make([]float64, capacity) }
+
+func (r *ring) cap() int { return len(r.buf) }
+
+func (r *ring) push(x float64) {
+	r.buf[r.i] = x
+	r.i = (r.i + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *ring) reset() { r.n, r.i = 0, 0 }
+
+// values copies the window contents into *dst (reusing its capacity)
+// and returns the slice; order is not meaningful to the consumers.
+func (r *ring) values(dst *[]float64) []float64 {
+	out := (*dst)[:0]
+	if r.n == len(r.buf) {
+		out = append(out, r.buf...)
+	} else {
+		out = append(out, r.buf[:r.n]...)
+	}
+	*dst = out
+	return out
+}

@@ -1,0 +1,293 @@
+package guard
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func healthyObs() UpdateObs {
+	return UpdateObs{
+		PolicyLoss: 0.5, ValueLoss: 0.2, Entropy: 1.0,
+		GradNorm: 2.0, ValueGradNorm: 1.0, ParamsFinite: true,
+	}
+}
+
+func TestNilGuardIsDisabled(t *testing.T) {
+	var g *Guard
+	if g.Enabled() {
+		t.Fatal("nil guard enabled")
+	}
+	if v := g.CheckUpdate(UpdateObs{GradNorm: math.NaN()}); v != Healthy {
+		t.Fatalf("nil guard verdict %v, want Healthy", v)
+	}
+	g.RecordRolloutFault("boom")
+	g.ObserveRollouts()
+	if g.QuarantineNeeded() || g.RollbackNeeded() {
+		t.Fatal("nil guard demands recovery")
+	}
+	g.AcknowledgeQuarantine()
+	g.AcknowledgeRollback()
+	g.ResetUnhealthyStreak()
+	g.SetMetrics(nil)
+	if g.TakeSkips() != 0 || g.Snapshot() != (Stats{}) || g.LastRolloutFault() != "" {
+		t.Fatal("nil guard has state")
+	}
+}
+
+func TestHealthyUpdatesStayHealthy(t *testing.T) {
+	g := New(Config{})
+	for i := 0; i < 100; i++ {
+		if v := g.CheckUpdate(healthyObs()); v != Healthy {
+			t.Fatalf("update %d verdict %v", i, v)
+		}
+	}
+	st := g.Snapshot()
+	if st.Updates != 100 || st.Skipped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNonFiniteDetection(t *testing.T) {
+	cases := map[string]UpdateObs{}
+	for name, mut := range map[string]func(*UpdateObs){
+		"nan-policy-loss": func(o *UpdateObs) { o.PolicyLoss = math.NaN() },
+		"inf-value-loss":  func(o *UpdateObs) { o.ValueLoss = math.Inf(1) },
+		"nan-entropy":     func(o *UpdateObs) { o.Entropy = math.NaN() },
+		"nan-grad-norm":   func(o *UpdateObs) { o.GradNorm = math.NaN() },
+		"inf-vgrad-norm":  func(o *UpdateObs) { o.ValueGradNorm = math.Inf(-1) },
+		"poisoned-params": func(o *UpdateObs) { o.ParamsFinite = false },
+	} {
+		o := healthyObs()
+		mut(&o)
+		cases[name] = o
+	}
+	for name, o := range cases {
+		g := New(Config{})
+		if v := g.CheckUpdate(o); v != NonFinite {
+			t.Fatalf("%s: verdict %v, want NonFinite", name, v)
+		}
+		if st := g.Snapshot(); st.NonFinite != 1 || st.Skipped != 1 {
+			t.Fatalf("%s: stats %+v", name, st)
+		}
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	g := New(Config{Window: 8, DivergenceFactor: 10})
+	for i := 0; i < 8; i++ {
+		if v := g.CheckUpdate(healthyObs()); v != Healthy {
+			t.Fatalf("baseline update %d verdict %v", i, v)
+		}
+	}
+	o := healthyObs()
+	o.GradNorm = 2000 // 1000x the rolling mean of 2.0
+	if v := g.CheckUpdate(o); v != Diverging {
+		t.Fatalf("verdict %v, want Diverging", v)
+	}
+	// Below the threshold: healthy, and a spike before the window is
+	// half full must not trip either.
+	o.GradNorm = 10
+	if v := g.CheckUpdate(o); v != Healthy {
+		t.Fatalf("verdict %v, want Healthy", v)
+	}
+	g2 := New(Config{Window: 8, DivergenceFactor: 10})
+	o2 := healthyObs()
+	o2.GradNorm = 1e9
+	if v := g2.CheckUpdate(o2); v != Healthy {
+		t.Fatalf("cold-window verdict %v, want Healthy", v)
+	}
+}
+
+func TestDivergenceDisabledByDefault(t *testing.T) {
+	g := New(Config{})
+	for i := 0; i < 40; i++ {
+		g.CheckUpdate(healthyObs())
+	}
+	o := healthyObs()
+	o.GradNorm = 1e12
+	if v := g.CheckUpdate(o); v != Healthy {
+		t.Fatalf("verdict %v: divergence detection must be opt-in", v)
+	}
+}
+
+func TestEntropyCollapseDetection(t *testing.T) {
+	g := New(Config{EntropyFloor: 0.1})
+	if v := g.CheckUpdate(healthyObs()); v != Healthy {
+		t.Fatalf("verdict %v", v)
+	}
+	o := healthyObs()
+	o.Entropy = 0.05
+	if v := g.CheckUpdate(o); v != EntropyCollapse {
+		t.Fatalf("verdict %v, want EntropyCollapse", v)
+	}
+}
+
+func TestRollbackPolicy(t *testing.T) {
+	g := New(Config{RollbackAfter: 3, MaxRollbacks: 2})
+	bad := healthyObs()
+	bad.GradNorm = math.NaN()
+	for i := 0; i < 2; i++ {
+		g.CheckUpdate(bad)
+		if g.RollbackNeeded() {
+			t.Fatalf("rollback demanded after %d unhealthy updates", i+1)
+		}
+	}
+	g.CheckUpdate(bad)
+	if !g.RollbackNeeded() {
+		t.Fatal("rollback not demanded after 3 consecutive unhealthy updates")
+	}
+	// A healthy update breaks the streak.
+	g.CheckUpdate(healthyObs())
+	if g.RollbackNeeded() {
+		t.Fatal("rollback demanded after streak reset")
+	}
+	// Budget: MaxRollbacks acknowledgements exhaust it.
+	for i := 0; i < 3; i++ {
+		g.CheckUpdate(bad)
+	}
+	if !g.RollbackNeeded() {
+		t.Fatal("rollback not demanded")
+	}
+	g.AcknowledgeRollback()
+	if g.RollbackNeeded() {
+		t.Fatal("streak survived acknowledge")
+	}
+	for i := 0; i < 3; i++ {
+		g.CheckUpdate(bad)
+	}
+	g.AcknowledgeRollback()
+	for i := 0; i < 3; i++ {
+		g.CheckUpdate(bad)
+	}
+	if g.RollbackNeeded() {
+		t.Fatal("rollback demanded past MaxRollbacks budget")
+	}
+	if st := g.Snapshot(); st.Rollbacks != 2 {
+		t.Fatalf("rollbacks = %d, want 2", st.Rollbacks)
+	}
+}
+
+func TestQuarantinePolicy(t *testing.T) {
+	g := New(Config{QuarantineAfter: 2})
+	g.RecordRolloutFault("panic: injected env-step fault")
+	g.ObserveRollouts()
+	if g.QuarantineNeeded() {
+		t.Fatal("quarantine demanded after 1 fault")
+	}
+	g.RecordRolloutFault("panic: injected env-step fault")
+	g.ObserveRollouts()
+	if !g.QuarantineNeeded() {
+		t.Fatal("quarantine not demanded after 2 consecutive faulty rollouts")
+	}
+	if !strings.Contains(g.LastRolloutFault(), "env-step") {
+		t.Fatalf("LastRolloutFault = %q", g.LastRolloutFault())
+	}
+	g.AcknowledgeQuarantine()
+	if g.QuarantineNeeded() {
+		t.Fatal("quarantine streak survived acknowledge")
+	}
+	// A clean iteration resets the streak.
+	g.RecordRolloutFault("x")
+	g.ObserveRollouts()
+	g.ObserveRollouts() // no faults since last observe
+	g.RecordRolloutFault("y")
+	g.ObserveRollouts()
+	if g.QuarantineNeeded() {
+		t.Fatal("non-consecutive faults triggered quarantine")
+	}
+	if st := g.Snapshot(); st.Quarantines != 1 || st.RolloutFaults != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRecordRolloutFaultConcurrent(t *testing.T) {
+	g := New(Config{QuarantineAfter: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.RecordRolloutFault("boom")
+			}
+		}()
+	}
+	wg.Wait()
+	g.ObserveRollouts()
+	if st := g.Snapshot(); st.RolloutFaults != 800 {
+		t.Fatalf("rollout faults = %d, want 800", st.RolloutFaults)
+	}
+}
+
+func TestTakeSkips(t *testing.T) {
+	g := New(Config{})
+	bad := healthyObs()
+	bad.ParamsFinite = false
+	g.CheckUpdate(bad)
+	g.CheckUpdate(bad)
+	g.CheckUpdate(healthyObs())
+	if d := g.TakeSkips(); d != 2 {
+		t.Fatalf("TakeSkips = %d, want 2", d)
+	}
+	if d := g.TakeSkips(); d != 0 {
+		t.Fatalf("second TakeSkips = %d, want 0", d)
+	}
+	g.CheckUpdate(bad)
+	if d := g.TakeSkips(); d != 1 {
+		t.Fatalf("TakeSkips after new skip = %d, want 1", d)
+	}
+}
+
+func TestAcknowledgeRollbackResetsWindows(t *testing.T) {
+	g := New(Config{Window: 4, DivergenceFactor: 2})
+	for i := 0; i < 4; i++ {
+		o := healthyObs()
+		o.GradNorm = 1e-9 // tiny baseline so anything looks divergent
+		g.CheckUpdate(o)
+	}
+	g.AcknowledgeRollback()
+	// Window cleared: a large norm right after rollback must be judged
+	// against an empty (cold) window, not the stale tiny baseline.
+	o := healthyObs()
+	o.GradNorm = 5
+	if v := g.CheckUpdate(o); v != Healthy {
+		t.Fatalf("post-rollback verdict %v, want Healthy (cold window)", v)
+	}
+}
+
+func TestVerdictAndStatsStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Healthy: "healthy", NonFinite: "non-finite",
+		Diverging: "diverging", EntropyCollapse: "entropy-collapse",
+	} {
+		if v.String() != want {
+			t.Fatalf("Verdict(%d).String() = %q", v, v.String())
+		}
+	}
+	s := Stats{Skipped: 3, Rollbacks: 1}
+	if !strings.Contains(s.String(), "skipped=3") || !strings.Contains(s.String(), "rollbacks=1") {
+		t.Fatalf("Stats.String() = %q", s)
+	}
+}
+
+func BenchmarkCheckUpdateDisabled(b *testing.B) {
+	var g *Guard
+	o := healthyObs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g.CheckUpdate(o) != Healthy {
+			b.Fatal("unexpected verdict")
+		}
+	}
+}
+
+func BenchmarkCheckUpdateEnabled(b *testing.B) {
+	g := New(Config{Window: 32, DivergenceFactor: 10})
+	o := healthyObs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.CheckUpdate(o)
+	}
+}

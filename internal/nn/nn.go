@@ -263,6 +263,54 @@ func (g *Grads) ClipGlobalNorm(max float64) {
 	}
 }
 
+// AllFinite reports whether every accumulated gradient entry is a finite
+// number — the pre-apply scan the training guard runs before letting an
+// optimizer step through. (GlobalNorm also surfaces NaN/Inf, but can
+// overflow to +Inf on legitimately huge finite gradients; this scan
+// cannot false-positive.)
+func (g *Grads) AllFinite() bool {
+	for l := range g.weights {
+		if !allFinite(g.weights[l]) || !allFinite(g.biases[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Poison overwrites the first weight gradient with v. It exists for
+// deterministic fault injection (internal/faults GradPoison): one NaN is
+// enough to poison the optimizer apply, and touching a single fixed
+// entry keeps chaos runs replayable.
+func (g *Grads) Poison(v float64) {
+	for l := range g.weights {
+		if len(g.weights[l]) > 0 {
+			g.weights[l][0] = v
+			return
+		}
+	}
+}
+
+// AllFinite reports whether every parameter of the network is a finite
+// number. Used by the training guard to detect nets already poisoned by
+// an earlier bad apply.
+func (m *MLP) AllFinite() bool {
+	for l := range m.weights {
+		if !allFinite(m.weights[l]) || !allFinite(m.biases[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Backward accumulates dLoss/dParams into grads for one sample, given the
 // cache from ForwardCache and the gradient of the loss with respect to the
 // network output. It returns the gradient of the loss with respect to the

@@ -317,3 +317,36 @@ func TestXavierInitBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestAllFiniteAndPoison(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMLP(rng, Tanh, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.AllFinite() {
+		t.Fatal("fresh MLP not finite")
+	}
+	g := m.NewGrads()
+	if !g.AllFinite() {
+		t.Fatal("zero grads not finite")
+	}
+	g.Poison(math.NaN())
+	if g.AllFinite() {
+		t.Fatal("poisoned grads reported finite")
+	}
+	g.Zero()
+	if !g.AllFinite() {
+		t.Fatal("Zero did not clear the poison")
+	}
+	g.Poison(math.Inf(1))
+	if g.AllFinite() {
+		t.Fatal("Inf-poisoned grads reported finite")
+	}
+	// A poisoned apply poisons the net, and the param scan sees it.
+	g.count = 1
+	m.ApplyDelta(g, 1)
+	if m.AllFinite() {
+		t.Fatal("MLP with Inf weight reported finite")
+	}
+}

@@ -18,19 +18,57 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
+// IterError is the panic value ForN re-panics with when an iteration
+// panics: it carries the faulting iteration index, the original panic
+// value, and the stack captured at the panic site, so a crash inside a
+// parallel rollout names the environment that died instead of losing it
+// in the scheduler. Containment layers (the training guard) unwrap it
+// via the Index/Value fields; uncontained panics print it via Error.
+type IterError struct {
+	Index int    // iteration i passed to f when it panicked
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine, captured at recovery
+}
+
+func (e *IterError) Error() string {
+	return fmt.Sprintf("par: iteration %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Unwrap returns the original panic value when it was an error, so
+// errors.Is/As see through the wrapper.
+func (e *IterError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapIter wraps a recovered panic value, preserving an existing
+// IterError (nested ForN calls keep the innermost index and stack).
+func wrapIter(i int, r any) *IterError {
+	if ie, ok := r.(*IterError); ok {
+		return ie
+	}
+	return &IterError{Index: i, Value: r, Stack: debug.Stack()}
+}
+
 // For runs f(0..n-1) on up to GOMAXPROCS goroutines and returns when all
-// calls complete. f must not panic; a panicking iteration propagates after
-// all workers stop (standard WaitGroup semantics would otherwise deadlock).
+// calls complete. A panicking iteration propagates after all workers stop
+// (standard WaitGroup semantics would otherwise deadlock), re-panicking
+// with an *IterError that records the iteration index and stack.
 func For(n int, f func(i int)) {
 	ForN(n, runtime.GOMAXPROCS(0), f)
 }
 
 // ForN is For with an explicit worker cap. workers <= 1 degrades to a plain
-// sequential loop (useful under -race or for debugging).
+// sequential loop (useful under -race or for debugging); the IterError
+// panic contract is the same on both paths.
 func ForN(n, workers int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -39,16 +77,14 @@ func ForN(n, workers int, f func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
+		forSeq(n, f)
 		return
 	}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		panicked any
+		panicked *IterError
 	)
 	next := make(chan int)
 	wg.Add(workers)
@@ -59,9 +95,14 @@ func ForN(n, workers int, f func(i int)) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							// Capture the stack here, inside the deferred
+							// recover: the panicking frames are still live
+							// on this goroutine, so the trace names f's
+							// actual fault site.
+							ie := wrapIter(i, r)
 							mu.Lock()
 							if panicked == nil {
-								panicked = r
+								panicked = ie
 							}
 							mu.Unlock()
 						}
@@ -78,5 +119,19 @@ func ForN(n, workers int, f func(i int)) {
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
+	}
+}
+
+// forSeq is the workers <= 1 path: a plain loop on the caller's
+// goroutine, with the same IterError wrapping as the parallel path.
+func forSeq(n int, f func(i int)) {
+	cur := 0
+	defer func() {
+		if r := recover(); r != nil {
+			panic(wrapIter(cur, r))
+		}
+	}()
+	for ; cur < n; cur++ {
+		f(cur)
 	}
 }

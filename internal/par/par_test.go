@@ -1,7 +1,9 @@
 package par
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -46,14 +48,88 @@ func TestForNMoreWorkersThanWork(t *testing.T) {
 
 func TestForPanicPropagates(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("panic not propagated")
+		}
+		ie, ok := r.(*IterError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *IterError", r, r)
+		}
+		if ie.Index != 25 || ie.Value != "boom" {
+			t.Fatalf("IterError = {Index: %d, Value: %v}, want {25, boom}", ie.Index, ie.Value)
+		}
+		msg := ie.Error()
+		if !strings.Contains(msg, "iteration 25") || !strings.Contains(msg, "boom") {
+			t.Fatalf("Error() = %q, want iteration index and value", msg)
+		}
+		// The stack must be captured at the panic site inside f, not at
+		// the re-panic in ForN: the test function's frame names it.
+		if !strings.Contains(string(ie.Stack), "par_test") {
+			t.Fatalf("Stack does not reach the panic site:\n%s", ie.Stack)
 		}
 	}()
 	ForN(50, 4, func(i int) {
 		if i == 25 {
 			panic("boom")
 		}
+	})
+}
+
+func TestForNSequentialPanicWrapped(t *testing.T) {
+	// The workers <= 1 path must honor the same IterError contract as
+	// the parallel path.
+	defer func() {
+		r := recover()
+		ie, ok := r.(*IterError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *IterError", r, r)
+		}
+		if ie.Index != 3 || ie.Value != "seq-boom" || len(ie.Stack) == 0 {
+			t.Fatalf("IterError = {Index: %d, Value: %v, len(Stack): %d}", ie.Index, ie.Value, len(ie.Stack))
+		}
+	}()
+	ForN(10, 1, func(i int) {
+		if i == 3 {
+			panic("seq-boom")
+		}
+	})
+}
+
+func TestIterErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	var got error
+	func() {
+		defer func() {
+			got = recover().(*IterError)
+		}()
+		ForN(4, 2, func(i int) {
+			if i == 2 {
+				panic(sentinel)
+			}
+		})
+	}()
+	if !errors.Is(got, sentinel) {
+		t.Fatalf("errors.Is through IterError failed: %v", got)
+	}
+	if (&IterError{Value: "not-an-error"}).Unwrap() != nil {
+		t.Fatal("Unwrap of non-error value should be nil")
+	}
+}
+
+func TestNestedForNKeepsInnermostIndex(t *testing.T) {
+	defer func() {
+		ie, ok := recover().(*IterError)
+		if !ok || ie.Index != 7 || ie.Value != "inner" {
+			t.Fatalf("recovered %+v, want innermost {Index: 7, Value: inner}", ie)
+		}
+	}()
+	ForN(2, 2, func(outer int) {
+		ForN(10, 1, func(inner int) {
+			if outer == 1 && inner == 7 {
+				panic("inner")
+			}
+		})
 	})
 }
 
@@ -84,9 +160,13 @@ func TestForNExactlyOnePanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic not propagated")
 		}
-		i, ok := r.(int)
-		if !ok || i < 0 || i >= 64 {
-			t.Fatalf("recovered %v (%T), want one iteration index in [0,64)", r, r)
+		ie, ok := r.(*IterError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *IterError", r, r)
+		}
+		i, ok := ie.Value.(int)
+		if !ok || i < 0 || i >= 64 || ie.Index != i {
+			t.Fatalf("recovered {Index: %d, Value: %v}, want one self-consistent iteration index in [0,64)", ie.Index, ie.Value)
 		}
 	}()
 	ForN(64, 8, func(i int) { panic(i) })

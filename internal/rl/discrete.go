@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
@@ -63,6 +65,18 @@ type DiscreteAgent struct {
 	// free on the hot path: every metrics call is guarded or nil-safe, and
 	// telemetry never touches rng, so enabling it cannot perturb training.
 	Metrics *metrics.Registry
+
+	// Guard optionally arms the training-health watchdog: a pre-apply
+	// NaN/Inf scan with a skip-update path, rollout panic containment,
+	// and rolling divergence statistics. Nil (the default) costs one nil
+	// check; an armed guard with healthy updates is a pure observer and
+	// keeps training bit-identical.
+	Guard *guard.Guard
+
+	// Faults optionally injects deterministic faults (poisoned
+	// gradients, env-step panics, corrupted observations) for chaos
+	// testing. Nil disables injection at zero cost.
+	Faults *faults.Injector
 
 	obsBuf []float64        // [n x ObsSize] packed batch observations
 	shards []*discreteShard // reusable per-shard gradient state
@@ -337,11 +351,43 @@ func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
 		stats.Entropy += sh.stats.Entropy
 	}
 
+	if a.Faults.Fire(faults.GradPoison) {
+		a.pGrads.Poison(math.NaN())
+		a.Metrics.Counter("faults/grad_poison").Inc()
+	}
+	// Pre-clip norms feed the guard: clipping bounds the post-clip norm
+	// at ClipNorm, which would blind divergence detection, while NaN/Inf
+	// pass through the clip unchanged either way.
+	var preP, preV float64
+	if a.Guard.Enabled() {
+		preP, preV = a.pGrads.GlobalNorm(), a.vGrads.GlobalNorm()
+	}
 	if a.cfg.ClipNorm > 0 {
 		a.pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
 		a.vGrads.ClipGlobalNorm(a.cfg.ClipNorm)
 	}
 	stats.GradNorm = a.pGrads.GlobalNorm()
+	if a.Guard.Enabled() {
+		v := a.Guard.CheckUpdate(guard.UpdateObs{
+			PolicyLoss: stats.PolicyLoss, ValueLoss: stats.ValueLoss,
+			Entropy:  stats.Entropy,
+			GradNorm: preP, ValueGradNorm: preV,
+			ParamsFinite: a.policy.AllFinite() && a.value.AllFinite(),
+		})
+		if v != guard.Healthy {
+			// Skip the apply: parameters and optimizer moments keep
+			// their pre-update values, and paramsVersion stays put so
+			// the rollout activation caches remain valid.
+			stats.Skipped = true
+			if a.Metrics.Enabled() {
+				a.Metrics.Counter("rl/updates_skipped").Inc()
+				a.Metrics.Emit("rl/update_skipped",
+					metrics.F{K: "verdict", V: float64(v)},
+					metrics.F{K: "steps", V: float64(n)})
+			}
+			return stats
+		}
+	}
 	a.pOpt.Step(a.policy, a.pGrads)
 	a.vOpt.Step(a.value, a.vGrads)
 	a.paramsVersion++
@@ -441,14 +487,37 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 	}
 	a.ensureCollectPool(numEnvs, perEnv)
 	batches := make([]*Batch, numEnvs)
+	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
+	contain := a.Guard.Enabled()
 	rt := a.Metrics.StartTimer("rl/rollout_seconds")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
-		batches[i] = a.collectWith(a.collectPool[i], makeEnv(envRng), perEnv, envRng)
+		env := makeEnv(envRng)
+		if wrapFaults {
+			env = wrapFaultyDiscrete(env, a.Faults, seeds[i])
+		}
+		if contain {
+			// Containment is opt-in via the guard: with no guard a
+			// rollout panic is a genuine bug and must crash loudly.
+			// A contained env leaves a nil batch; the survivors still
+			// train, and the guard's quarantine policy sees the fault.
+			defer func() {
+				if r := recover(); r != nil {
+					batches[i] = nil
+					a.Guard.RecordRolloutFault(r)
+					a.Metrics.Counter("guard/contained_rollouts").Inc()
+				}
+			}()
+		}
+		batches[i] = a.collectWith(a.collectPool[i], env, perEnv, envRng)
 	})
 	rt.Stop()
+	a.Guard.ObserveRollouts()
 	merged := &Batch{}
 	for _, b := range batches {
+		if b == nil {
+			continue
+		}
 		merged.Transitions = append(merged.Transitions, b.Transitions...)
 		merged.Episodes += b.Episodes
 		merged.TotalReward += b.TotalReward
@@ -467,7 +536,7 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 func (a *DiscreteAgent) mergeCaches(merged *Batch, batches []*Batch) {
 	total := 0
 	for _, b := range batches {
-		if b.cacheOwner != a || b.cacheVersion != a.paramsVersion ||
+		if b == nil || b.cacheOwner != a || b.cacheVersion != a.paramsVersion ||
 			b.pCache == nil || b.vCache == nil || b.pCache.Rows() != len(b.Transitions) {
 			return
 		}

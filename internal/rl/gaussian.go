@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
 	"github.com/genet-go/genet/internal/par"
@@ -69,6 +71,14 @@ type GaussianAgent struct {
 	// Metrics optionally receives per-update telemetry; nil (the default)
 	// is free on the hot path. See DiscreteAgent.Metrics.
 	Metrics *metrics.Registry
+
+	// Guard optionally arms the training-health watchdog; nil is free.
+	// See DiscreteAgent.Guard.
+	Guard *guard.Guard
+
+	// Faults optionally injects deterministic faults for chaos testing;
+	// nil is free. See DiscreteAgent.Faults.
+	Faults *faults.Injector
 
 	pGrads *nn.Grads
 	vGrads *nn.Grads
@@ -291,7 +301,7 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 	if mb <= 0 || mb > n {
 		mb = n
 	}
-	var stats UpdateStats
+	var stats, mbMark UpdateStats
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
@@ -308,6 +318,7 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 			end := min(start+mb, n)
 			ids := idx[start:end]
 			bn := float64(end - start)
+			mbMark = stats
 			for r, i := range ids {
 				copy(a.obsBuf[r*d:(r+1)*d], batch.Transitions[i].Obs)
 			}
@@ -332,6 +343,40 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 				stats.ValueLoss += sh.stats.ValueLoss
 				stats.KL += sh.stats.KL
 				stats.ClipFrac += sh.stats.ClipFrac
+			}
+			if a.Faults.Fire(faults.GradPoison) {
+				a.pGrads.Poison(math.NaN())
+				a.Metrics.Counter("faults/grad_poison").Inc()
+			}
+			if a.Guard.Enabled() {
+				preP, preV := a.pGrads.GlobalNorm(), a.vGrads.GlobalNorm()
+				ent := 0.0
+				for _, s := range a.stdBuf {
+					ent += 0.5*math.Log(2*math.Pi*math.E) + math.Log(s)
+				}
+				v := a.Guard.CheckUpdate(guard.UpdateObs{
+					PolicyLoss: stats.PolicyLoss - mbMark.PolicyLoss,
+					ValueLoss:  stats.ValueLoss - mbMark.ValueLoss,
+					Entropy:    ent,
+					GradNorm:   preP, ValueGradNorm: preV,
+					ParamsFinite: allFinite(a.sGrads) &&
+						a.policy.AllFinite() && a.value.AllFinite(),
+				})
+				if v != guard.Healthy {
+					// Skip this minibatch apply and roll its (possibly
+					// poisoned) contribution back out of the running
+					// stats, so the reported averages cover only the
+					// minibatches that actually stepped.
+					stats = mbMark
+					stats.Skipped = true
+					if a.Metrics.Enabled() {
+						a.Metrics.Counter("rl/updates_skipped").Inc()
+						a.Metrics.Emit("rl/update_skipped",
+							metrics.F{K: "verdict", V: float64(v)},
+							metrics.F{K: "steps", V: bn})
+					}
+					continue
+				}
 			}
 			if a.cfg.ClipNorm > 0 {
 				a.pGrads.ClipGlobalNorm(a.cfg.ClipNorm)
@@ -456,14 +501,35 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 		seeds[i] = rng.Int63()
 	}
 	batches := make([]*Batch, numEnvs)
+	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
+	contain := a.Guard.Enabled()
 	rt := a.Metrics.StartTimer("rl/rollout_seconds")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
-		batches[i] = a.Collect(makeEnv(envRng), perEnv, envRng)
+		env := makeEnv(envRng)
+		if wrapFaults {
+			env = wrapFaultyContinuous(env, a.Faults, seeds[i])
+		}
+		if contain {
+			// See DiscreteAgent.TrainIteration: containment is opt-in
+			// via the guard; a contained env contributes no batch.
+			defer func() {
+				if r := recover(); r != nil {
+					batches[i] = nil
+					a.Guard.RecordRolloutFault(r)
+					a.Metrics.Counter("guard/contained_rollouts").Inc()
+				}
+			}()
+		}
+		batches[i] = a.Collect(env, perEnv, envRng)
 	})
 	rt.Stop()
+	a.Guard.ObserveRollouts()
 	merged := &Batch{}
 	for _, b := range batches {
+		if b == nil {
+			continue
+		}
 		merged.Transitions = append(merged.Transitions, b.Transitions...)
 		merged.Episodes += b.Episodes
 		merged.TotalReward += b.TotalReward

@@ -1,0 +1,216 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/guard"
+)
+
+// stateBytes snapshots the full agent state (nets + optimizer moments)
+// for bit-identity comparisons.
+func stateBytes(t *testing.T, a *DiscreteAgent) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGuardEnabledIsBitIdenticalWithoutFaults(t *testing.T) {
+	// An armed guard observing a healthy run must be a pure observer:
+	// same seed, same floats, guard on or off.
+	run := func(g *guard.Guard) []byte {
+		rng := rand.New(rand.NewSource(7))
+		agent, err := NewDiscreteAgent(DefaultDiscreteConfig(3, 3), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Guard = g
+		makeEnv := func(r *rand.Rand) DiscreteEnv { return &bandit{nActions: 3} }
+		for i := 0; i < 20; i++ {
+			agent.TrainIteration(makeEnv, 2, 64, rng)
+		}
+		var buf bytes.Buffer
+		if err := agent.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := run(nil)
+	guarded := run(guard.New(guard.Config{RollbackAfter: 3, QuarantineAfter: 3}))
+	if !bytes.Equal(plain, guarded) {
+		t.Fatal("guard-enabled zero-fault run diverged from unguarded run")
+	}
+}
+
+func TestGradPoisonSkipsUpdateAndPreservesParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agent, err := NewDiscreteAgent(DefaultDiscreteConfig(3, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(guard.Config{})
+	agent.Guard = g
+	in := faults.New(1)
+	in.Enable(faults.GradPoison, 1) // poison every apply
+	agent.Faults = in
+
+	makeEnv := func(r *rand.Rand) DiscreteEnv { return &bandit{nActions: 3} }
+	before := stateBytes(t, agent)
+	_, stats := agent.TrainIteration(makeEnv, 2, 64, rng)
+	if !stats.Skipped {
+		t.Fatal("poisoned update not reported as skipped")
+	}
+	after := stateBytes(t, agent)
+	if !bytes.Equal(before, after) {
+		t.Fatal("skipped update still mutated agent state")
+	}
+	if st := g.Snapshot(); st.NonFinite != 1 || st.Skipped != 1 {
+		t.Fatalf("guard stats %+v, want one non-finite skip", st)
+	}
+	if in.Fired(faults.GradPoison) != 1 {
+		t.Fatalf("injector fired %d, want 1", in.Fired(faults.GradPoison))
+	}
+}
+
+func TestEnvStepPanicContainedAndSurvivorsTrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agent, err := NewDiscreteAgent(DefaultDiscreteConfig(3, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(guard.Config{QuarantineAfter: 1})
+	agent.Guard = g
+	in := faults.New(2)
+	in.Enable(faults.EnvStepPanic, 10) // most rollouts die quickly
+	agent.Faults = in
+
+	makeEnv := func(r *rand.Rand) DiscreteEnv { return &bandit{nActions: 3} }
+	for i := 0; i < 5; i++ {
+		agent.TrainIteration(makeEnv, 4, 64, rng)
+	}
+	st := g.Snapshot()
+	if st.RolloutFaults == 0 {
+		t.Fatal("no rollout faults recorded despite every-10-steps panics")
+	}
+	if in.Fired(faults.EnvStepPanic) == 0 {
+		t.Fatal("injector never fired")
+	}
+	if !g.QuarantineNeeded() {
+		t.Fatal("quarantine not demanded after consecutive faulty rollouts")
+	}
+}
+
+func TestRolloutPanicWithoutGuardStillCrashes(t *testing.T) {
+	// Containment is opt-in: with no guard armed, an env panic must
+	// propagate (a genuine bug should never be silently swallowed).
+	rng := rand.New(rand.NewSource(5))
+	agent, err := NewDiscreteAgent(DefaultDiscreteConfig(3, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(2)
+	in.Enable(faults.EnvStepPanic, 1)
+	agent.Faults = in
+	defer func() {
+		if recover() == nil {
+			t.Fatal("env panic did not propagate without a guard")
+		}
+	}()
+	agent.TrainIteration(func(r *rand.Rand) DiscreteEnv { return &bandit{nActions: 3} }, 2, 64, rng)
+}
+
+func TestTraceCorruptionSurfacesAsSkippedUpdate(t *testing.T) {
+	// A NaN observation flows through the forward pass into the loss and
+	// gradients; the pre-apply scan must catch it before the Adam step.
+	rng := rand.New(rand.NewSource(9))
+	agent, err := NewDiscreteAgent(DefaultDiscreteConfig(3, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(guard.Config{})
+	agent.Guard = g
+	makeEnv := func(r *rand.Rand) DiscreteEnv { return &bandit{nActions: 3} }
+
+	// Clean phase: no injector, the agent trains normally.
+	before := stateBytes(t, agent)
+	for i := 0; i < 3; i++ {
+		agent.TrainIteration(makeEnv, 2, 64, rng)
+	}
+	if bytes.Equal(before, stateBytes(t, agent)) {
+		t.Fatal("agent did not train during the clean phase")
+	}
+
+	// Corrupt phase: with NaN observations every ~5 steps, every batch is
+	// poisoned and the pre-apply scan must veto every optimizer step.
+	in := faults.New(4)
+	in.Enable(faults.TraceCorrupt, 5)
+	agent.Faults = in
+	var sawSkip bool
+	for i := 0; i < 3; i++ {
+		_, stats := agent.TrainIteration(makeEnv, 2, 64, rng)
+		sawSkip = sawSkip || stats.Skipped
+	}
+	if in.Fired(faults.TraceCorrupt) == 0 {
+		t.Fatal("trace corruption never fired")
+	}
+	if !sawSkip {
+		t.Fatal("corrupted observations never produced a skipped update")
+	}
+	if !agent.policy.AllFinite() || !agent.value.AllFinite() {
+		t.Fatal("guard let NaN reach the network parameters")
+	}
+}
+
+func TestGaussianGradPoisonSkips(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultGaussianConfig(4, 2)
+	agent, err := NewGaussianAgent(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(guard.Config{})
+	agent.Guard = g
+	in := faults.New(6)
+	in.Enable(faults.GradPoison, 1)
+	agent.Faults = in
+
+	makeEnv := func(r *rand.Rand) ContinuousEnv { return &ccToy{dim: 4, adim: 2} }
+	_, stats := agent.TrainIteration(makeEnv, 2, 64, rng)
+	if !stats.Skipped {
+		t.Fatal("poisoned PPO update not reported as skipped")
+	}
+	if math.IsNaN(stats.PolicyLoss) || math.IsNaN(stats.GradNorm) {
+		t.Fatalf("skipped minibatches leaked NaN into reported stats: %+v", stats)
+	}
+	if st := g.Snapshot(); st.NonFinite == 0 {
+		t.Fatalf("guard stats %+v, want non-finite skips", st)
+	}
+}
+
+// ccToy is a minimal continuous env: reward is the negative squared
+// distance of the action from a fixed target.
+type ccToy struct {
+	dim, adim int
+	step      int
+}
+
+func (e *ccToy) ObsSize() int   { return e.dim }
+func (e *ccToy) ActionDim() int { return e.adim }
+func (e *ccToy) Reset(rng *rand.Rand) []float64 {
+	e.step = 0
+	return make([]float64, e.dim)
+}
+func (e *ccToy) Step(action []float64) ([]float64, float64, bool) {
+	r := 0.0
+	for _, a := range action {
+		r -= (a - 0.5) * (a - 0.5)
+	}
+	e.step++
+	return make([]float64, e.dim), r, e.step >= 8
+}

@@ -147,6 +147,11 @@ type UpdateStats struct {
 	GradNorm   float64
 	KL         float64 // approximate KL(old || new), PPO only
 	ClipFrac   float64 // fraction of samples with a clipped ratio, PPO only
+	// Skipped reports that the training guard vetoed at least one
+	// optimizer apply for this update (poisoned gradients, divergence,
+	// or entropy collapse); the parameters kept their pre-update values
+	// for the skipped step(s).
+	Skipped bool
 }
 
 // categoricalSample draws an index from the probability vector probs.

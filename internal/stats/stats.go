@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -88,30 +89,43 @@ func Max(xs []float64) float64 {
 // total order, so the closest-rank lookup would silently return an
 // arbitrary element instead of a percentile.
 func Percentile(xs []float64, p float64) float64 {
+	v, err := TryPercentile(xs, p)
+	if err != nil {
+		panic("stats: " + err.Error())
+	}
+	return v
+}
+
+// TryPercentile is the non-panicking form of Percentile: it returns an
+// error — instead of crashing the caller — on an empty slice, a p
+// outside [0, 100], or NaN input. Watchdog code paths that summarize
+// possibly-poisoned series (a NaN loss is exactly what a training guard
+// exists to catch) should use this form.
+func TryPercentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return 0, errors.New("Percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+		return 0, fmt.Errorf("percentile %v out of range [0,100]", p)
 	}
 	for i, x := range xs {
 		if math.IsNaN(x) {
-			panic(fmt.Sprintf("stats: Percentile input contains NaN at index %d", i))
+			return 0, fmt.Errorf("Percentile input contains NaN at index %d", i)
 		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // Median returns the 50th percentile of xs.
@@ -209,12 +223,24 @@ type Summary struct {
 // empty slice; NaN input panics (see Percentile) instead of flowing into
 // every field as garbage.
 func Summarize(xs []float64) Summary {
+	s, err := TrySummarize(xs)
+	if err != nil {
+		panic("stats: " + err.Error())
+	}
+	return s
+}
+
+// TrySummarize is the non-panicking form of Summarize: NaN input yields
+// an error instead of a panic, so monitoring code can report a poisoned
+// series without dying on it. An empty slice is not an error; it yields
+// the zero Summary, matching Summarize.
+func TrySummarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
-		return Summary{}
+		return Summary{}, nil
 	}
 	for i, x := range xs {
 		if math.IsNaN(x) {
-			panic(fmt.Sprintf("stats: Summarize input contains NaN at index %d", i))
+			return Summary{}, fmt.Errorf("Summarize input contains NaN at index %d", i)
 		}
 	}
 	return Summary{
@@ -227,7 +253,7 @@ func Summarize(xs []float64) Summary {
 		P75:    Percentile(xs, 75),
 		P90:    Percentile(xs, 90),
 		Max:    Max(xs),
-	}
+	}, nil
 }
 
 // String renders the summary on one line.

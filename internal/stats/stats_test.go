@@ -390,3 +390,49 @@ func TestPercentileWithinMinMax(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTryPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	v, err := TryPercentile(xs, 50)
+	if err != nil || v != 2 {
+		t.Fatalf("TryPercentile = (%v, %v), want (2, nil)", v, err)
+	}
+	if _, err := TryPercentile(nil, 50); err == nil {
+		t.Fatal("TryPercentile(nil) returned no error")
+	}
+	if _, err := TryPercentile(xs, 101); err == nil {
+		t.Fatal("TryPercentile out-of-range p returned no error")
+	}
+	if _, err := TryPercentile([]float64{1, math.NaN()}, 50); err == nil {
+		t.Fatal("TryPercentile NaN input returned no error")
+	}
+}
+
+func TestTryPercentileMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 4, 7, 1, 5, 2}
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
+		v, err := TryPercentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Percentile(xs, p); got != v {
+			t.Fatalf("p=%v: Percentile=%v TryPercentile=%v", p, got, v)
+		}
+	}
+}
+
+func TestTrySummarize(t *testing.T) {
+	s, err := TrySummarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("TrySummarize = %+v", s)
+	}
+	if s2, err := TrySummarize(nil); err != nil || s2 != (Summary{}) {
+		t.Fatalf("TrySummarize(nil) = (%+v, %v), want zero Summary and nil error", s2, err)
+	}
+	if _, err := TrySummarize([]float64{1, math.NaN(), 3}); err == nil {
+		t.Fatal("TrySummarize NaN input returned no error")
+	}
+}

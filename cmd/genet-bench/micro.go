@@ -14,6 +14,7 @@ import (
 	"github.com/genet-go/genet/internal/ckpt"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/obs"
 	"github.com/genet-go/genet/internal/rl"
 )
 
@@ -195,6 +196,53 @@ func runMicro(outPath string) error {
 			if err != nil {
 				b.Fatal(err)
 			}
+			gen := abr.GenFromConfig(env.ABRSpace(env.RL1).Default(nil))
+			makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.TrainIteration(makeEnv, 2, batch, rng)
+			}
+		}},
+		// The span-overhead pair: the RL hot path is instrumented with
+		// flight-recorder spans, so the disabled (nil-recorder) cost must
+		// stay at zero allocations and a handful of nanoseconds —
+		// RLTrainIterationABR above IS the disabled path and must match
+		// earlier baselines alloc-for-alloc. The enabled variants price the
+		// opt-in cost of -rundir/-introspect.
+		{"SpanStartEndDisabled", func(b *testing.B) {
+			var rec *obs.Recorder
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := rec.Start("rl/update")
+				if rec.Enabled() {
+					sp.EndArgs(obs.Arg{K: "transitions", V: float64(i)})
+				} else {
+					sp.End()
+				}
+			}
+		}},
+		{"SpanStartEndEnabled", func(b *testing.B) {
+			rec := obs.NewRecorder(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := rec.Start("rl/update")
+				if rec.Enabled() {
+					sp.EndArgs(obs.Arg{K: "transitions", V: float64(i)})
+				} else {
+					sp.End()
+				}
+			}
+		}},
+		{"RLTrainIterationABRRecorded", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(10))
+			agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, actions), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agent.Recorder = obs.NewRecorder(0)
 			gen := abr.GenFromConfig(env.ABRSpace(env.RL1).Default(nil))
 			makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
 			b.ReportAllocs()

@@ -7,6 +7,7 @@ import (
 
 	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
 )
 
 // Objective is a blackbox function over the unit hypercube to maximize. In
@@ -87,6 +88,11 @@ type Options struct {
 	// Faults optionally injects query failures at the bo-query site
 	// (chaos testing). nil means no injection.
 	Faults *faults.Injector
+	// Recorder optionally records one "bo/query" span per objective
+	// evaluation in the flight recorder (the span covers the query
+	// including its retries). Like Metrics, recording is observation-only
+	// and never draws from rng.
+	Recorder *obs.Recorder
 	// QueryRetries bounds how many times a failed objective query (injected
 	// fault or NaN result) is retried before the point is recorded with
 	// value -Inf (default 2, i.e. up to 3 attempts). The retry schedule is
@@ -155,7 +161,18 @@ func Maximize(f Objective, opts Options, rng *rand.Rand) (*Trace, error) {
 		}
 	}
 	eval := func(x []float64, random bool, ei, mu, va float64) {
+		sp := opts.Recorder.Start("bo/query")
 		v := query(x)
+		if opts.Recorder.Enabled() {
+			rnd := 0.0
+			if random {
+				rnd = 1
+			}
+			sp.EndArgs(
+				obs.Arg{K: "step", V: float64(len(tr.Evals))},
+				obs.Arg{K: "value", V: v},
+				obs.Arg{K: "random", V: rnd})
+		}
 		tr.Evals = append(tr.Evals, Result{X: x, Value: v})
 		if m.Enabled() {
 			m.Counter("bo/evals").Inc()

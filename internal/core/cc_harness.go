@@ -7,6 +7,7 @@ import (
 	"github.com/genet-go/genet/internal/cc"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
 	"github.com/genet-go/genet/internal/par"
 	"github.com/genet-go/genet/internal/rl"
 	"github.com/genet-go/genet/internal/stats"
@@ -36,6 +37,9 @@ type CCHarness struct {
 	// Metrics optionally receives per-iteration training telemetry; set it
 	// via SetMetrics so the agent's per-update stream is attached too.
 	Metrics *metrics.Registry
+	// Recorder optionally records train/iter spans (and, through the
+	// agent, rl/rollout and rl/update); set it via SetRecorder.
+	Recorder *obs.Recorder
 
 	space *env.Space
 }
@@ -80,9 +84,11 @@ func (h *CCHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []f
 	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
+		sp := h.Recorder.Start("train/iter")
 		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
 		curve[i] = reward
 		emitTrainIter(h.Metrics, i, reward)
+		endTrainIterSpan(h.Recorder, sp, i, reward)
 	}
 	return curve
 }

@@ -36,6 +36,10 @@ import (
 // simply restores with no quarantines).
 const trainerStateVersion = 2
 
+// TrainerStateVersion is the trainer-state schema version this build writes;
+// run manifests record it so genet-inspect can flag cross-version diffs.
+const TrainerStateVersion = trainerStateVersion
+
 // Checkpoint section names.
 const (
 	secAgent   = "agent"
@@ -228,6 +232,8 @@ func (t *Trainer) wireState(st *runState) trainerWire {
 }
 
 func (t *Trainer) writeCheckpoint(path string, st *runState, rng *ckpt.Rand) error {
+	sp := t.opts.Recorder.Start("ckpt/write")
+	defer sp.End()
 	ash, ok := t.h.(AgentStateHarness)
 	if !ok {
 		return fmt.Errorf("core: harness %T does not support agent state capture; cannot checkpoint", t.h)
@@ -265,14 +271,19 @@ func (t *Trainer) writeCheckpoint(path string, st *runState, rng *ckpt.Rand) err
 					m.Counter("guard/ckpt_retries").Add(int64(attempt - 1))
 				}
 				if n := len(st.rep.Rounds); n > 0 {
-					st.rep.Rounds[n-1].Recoveries = append(st.rep.Rounds[n-1].Recoveries, RecoveryEvent{
+					ev := RecoveryEvent{
 						Kind:   "ckpt-retry",
 						Round:  st.rep.Rounds[n-1].Round,
 						Count:  attempt,
 						Detail: fmt.Sprintf("checkpoint write succeeded on attempt %d", attempt),
-					})
+					}
+					st.rep.Rounds[n-1].Recoveries = append(st.rep.Rounds[n-1].Recoveries, ev)
+					if t.opts.AfterRecovery != nil {
+						t.opts.AfterRecovery(ev)
+					}
 				}
 			}
+			t.opts.Status.SetCheckpoint(path, len(st.rep.Rounds))
 			return nil
 		}
 	}
@@ -283,6 +294,8 @@ func (t *Trainer) writeCheckpoint(path string, st *runState, rng *ckpt.Rand) err
 const ckptWriteAttempts = 3
 
 func (t *Trainer) restore(path string) (*runState, *ckpt.Rand, error) {
+	sp := t.opts.Recorder.Start("ckpt/read")
+	defer sp.End()
 	f, err := ckpt.ReadFile(path)
 	if err != nil {
 		return nil, nil, err

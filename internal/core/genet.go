@@ -10,6 +10,7 @@ import (
 	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
 )
 
 // Objective scores a candidate configuration for promotion given the
@@ -155,6 +156,24 @@ type Options struct {
 	// poisoned gradients, corrupted traces), the BO search (query
 	// failures), and the checkpoint writer (write failures). nil = off.
 	Faults *faults.Injector
+	// Recorder optionally attaches the flight recorder: the trainer
+	// records train/warmup, train/round, bo/search, ckpt/write, and
+	// ckpt/read spans plus curriculum instant markers, and NewTrainer
+	// threads the recorder through the harness (train/iter) and its agent
+	// (rl/rollout, rl/update) and into the BO search (bo/query). Like
+	// Metrics, recording is observation-only — it never draws from rng —
+	// so attaching it cannot change a run.
+	Recorder *obs.Recorder
+	// Status optionally publishes the live run position (phase, curriculum
+	// distribution, last checkpoint) for the introspection server's /run
+	// endpoint. nil = off.
+	Status *obs.RunStatus
+	// AfterRecovery, when non-nil, runs synchronously each time a guard
+	// intervention is recorded (rollback, quarantine, skipped updates,
+	// checkpoint retries). genet-train uses it to flush the event sink and
+	// span trace so the artifacts on disk are complete at every recovery
+	// point even if the process later dies.
+	AfterRecovery func(RecoveryEvent)
 }
 
 // SearchKind selects how the sequencing module explores the config space.
@@ -290,6 +309,9 @@ func NewTrainer(h Harness, opts Options) *Trainer {
 	if opts.Faults != nil {
 		SetHarnessFaults(h, opts.Faults)
 	}
+	if opts.Recorder.Enabled() {
+		SetHarnessRecorder(h, opts.Recorder)
+	}
 	return &Trainer{h: h, opts: opts}
 }
 
@@ -334,14 +356,20 @@ func (t *Trainer) newRunState() *runState {
 func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Report, error) {
 	rep := st.rep
 	m := t.opts.Metrics
+	rec := t.opts.Recorder
 	if !st.warmupDone {
 		if m.Enabled() {
 			// Phase -1 is warm-up; rounds count from 0.
 			m.Gauge("curriculum/phase").Set(-1)
 			m.Emit("curriculum/phase", metrics.F{K: "round", V: -1})
 		}
+		t.opts.Status.SetPhase(-1)
 		if t.opts.WarmupIters > 0 {
+			wsp := rec.Start("train/warmup")
 			rep.WarmupCurve = t.h.Train(rep.Distribution, t.opts.WarmupIters, rng)
+			if rec.Enabled() {
+				wsp.EndArgs(obs.Arg{K: "iters", V: float64(t.opts.WarmupIters)})
+			}
 		}
 		st.warmupDone = true
 		if t.opts.AfterRound != nil {
@@ -357,8 +385,19 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 	// discard the record of the rollback itself.
 	g := t.opts.Guard
 	var pendingRecoveries []RecoveryEvent
+	// noteRecovery appends a guard intervention and fires the AfterRecovery
+	// hook so artifact flushes happen at the moment of recovery, not at the
+	// next round boundary.
+	noteRecovery := func(ev RecoveryEvent) {
+		pendingRecoveries = append(pendingRecoveries, ev)
+		if t.opts.AfterRecovery != nil {
+			t.opts.AfterRecovery(ev)
+		}
+	}
 	for len(rep.Rounds) < t.opts.Rounds {
 		round := len(rep.Rounds)
+		t.opts.Status.SetPhase(round)
+		rsp := rec.Start("train/round")
 		cfg, score, tr, err := t.searchOnce(rng)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d search: %w", round, err)
@@ -381,9 +420,13 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 			}
 			m.Emit("curriculum/promote", fields...)
 		}
+		rec.Instant("curriculum/promote",
+			obs.Arg{K: "round", V: float64(round)},
+			obs.Arg{K: "score", V: score})
+		t.publishStatus(rep, score)
 		curve := t.h.Train(rep.Distribution, t.opts.ItersPerRound, rng)
 		if skips := g.TakeSkips(); skips > 0 {
-			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+			noteRecovery(RecoveryEvent{
 				Kind: "skipped-updates", Round: round, Count: skips,
 			})
 		}
@@ -395,7 +438,7 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 					return nil, fmt.Errorf("core: round %d rollback: %w", round, err)
 				}
 				g.AcknowledgeRollback()
-				pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+				noteRecovery(RecoveryEvent{
 					Kind: "rollback", Round: round, Count: streak,
 					Detail: fmt.Sprintf("restored %s after %d consecutive unhealthy updates", path, streak),
 				})
@@ -404,6 +447,9 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 						metrics.F{K: "round", V: float64(round)},
 						metrics.F{K: "streak", V: float64(streak)})
 				}
+				rec.Instant("curriculum/rollback",
+					obs.Arg{K: "round", V: float64(round)},
+					obs.Arg{K: "streak", V: float64(streak)})
 				// Re-enter the loop from the restored position. The fault
 				// injector's call counters are process-lifetime (never
 				// checkpointed), so the replayed rounds see a different
@@ -413,11 +459,15 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 				rep = st.rep
 				rng = rng2.Rand
 				ck.rng = rng2
+				t.publishStatus(rep, 0)
+				rsp.EndArgs(
+					obs.Arg{K: "round", V: float64(round)},
+					obs.Arg{K: "rolled_back", V: 1})
 				continue
 			}
 			// No checkpoint to restore: log and move on rather than
 			// re-demanding a rollback every round.
-			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+			noteRecovery(RecoveryEvent{
 				Kind: "rollback-unavailable", Round: round, Count: g.UnhealthyStreak(),
 				Detail: "rollback demanded but no checkpoint is configured",
 			})
@@ -437,7 +487,7 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 				return nil, fmt.Errorf("core: round %d quarantine: %w", round, err)
 			}
 			g.AcknowledgeQuarantine()
-			pendingRecoveries = append(pendingRecoveries, RecoveryEvent{
+			noteRecovery(RecoveryEvent{
 				Kind: "quarantine", Round: round, Count: streak,
 				Detail: fmt.Sprintf("promotion %d: %s", idx, reason),
 			})
@@ -447,6 +497,10 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 					metrics.F{K: "promotion", V: float64(idx)},
 					metrics.F{K: "streak", V: float64(streak)})
 			}
+			rec.Instant("curriculum/quarantine",
+				obs.Arg{K: "round", V: float64(round)},
+				obs.Arg{K: "promotion", V: float64(idx)})
+			t.publishStatus(rep, score)
 		}
 		rep.Rounds = append(rep.Rounds, RoundReport{
 			Round:        round,
@@ -458,6 +512,10 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 			Recoveries:   pendingRecoveries,
 		})
 		pendingRecoveries = nil
+		rsp.EndArgs(
+			obs.Arg{K: "round", V: float64(round)},
+			obs.Arg{K: "score", V: score},
+			obs.Arg{K: "evals", V: float64(evals)})
 		if t.opts.AfterRound != nil {
 			t.opts.AfterRound(round)
 		}
@@ -475,6 +533,7 @@ func (t *Trainer) runLoop(st *runState, rng *rand.Rand, ck *checkpointer) (*Repo
 // returns the best configuration found.
 func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, *bo.Trace, error) {
 	space := t.h.Space()
+	sp := t.opts.Recorder.Start("bo/search")
 	objective := func(x []float64) float64 {
 		cfg, err := space.FromUnit(x)
 		if err != nil {
@@ -494,15 +553,18 @@ func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, *bo.Trace, er
 		tr = bo.CoordinateSearch(objective, space.NumDims(), 5, t.opts.BOSteps, rng)
 	default:
 		tr, err = bo.Maximize(objective, bo.Options{
-			Dims:    space.NumDims(),
-			Steps:   t.opts.BOSteps,
-			Metrics: t.opts.Metrics,
-			Faults:  t.opts.Faults,
+			Dims:     space.NumDims(),
+			Steps:    t.opts.BOSteps,
+			Metrics:  t.opts.Metrics,
+			Faults:   t.opts.Faults,
+			Recorder: t.opts.Recorder,
 		}, rng)
 		if err != nil {
+			sp.End()
 			return env.Config{}, 0, nil, err
 		}
 	}
+	sp.EndArgs(obs.Arg{K: "evals", V: float64(len(tr.Evals))})
 	best, ok := tr.Best()
 	if !ok {
 		return env.Config{}, 0, nil, fmt.Errorf("core: empty search trace")
@@ -512,6 +574,47 @@ func (t *Trainer) searchOnce(rng *rand.Rand) (env.Config, float64, *bo.Trace, er
 		return env.Config{}, 0, nil, err
 	}
 	return cfg, best.Value, tr, nil
+}
+
+// publishStatus pushes the live curriculum view into opts.Status for the
+// introspection server's /run endpoint. newestScore is the objective value
+// of the most recent promotion when its round report has not landed yet
+// (completed rounds carry their own scores). A nil Status makes this free.
+func (t *Trainer) publishStatus(rep *Report, newestScore float64) {
+	s := t.opts.Status
+	if !s.Enabled() {
+		return
+	}
+	d := rep.Distribution
+	names := t.h.Space().Names()
+	proms := d.Promoted()
+	ps := make([]obs.Promotion, len(proms))
+	for i, cfg := range proms {
+		vals := cfg.Values()
+		vm := make(map[string]float64, len(vals))
+		for j, n := range names {
+			if j < len(vals) {
+				vm[n] = vals[j]
+			}
+		}
+		score := newestScore
+		if i < len(rep.Rounds) {
+			score = rep.Rounds[i].Score
+		}
+		ps[i] = obs.Promotion{
+			Index:       i,
+			Values:      vm,
+			Weight:      d.PromotionWeight(i),
+			Score:       score,
+			Quarantined: d.IsQuarantined(i),
+		}
+	}
+	for _, q := range d.Quarantines() {
+		if q.Index >= 0 && q.Index < len(ps) {
+			ps[q.Index].Reason = q.Reason
+		}
+	}
+	s.SetDistribution(d.BaseWeight(), ps)
 }
 
 // HeuristicSchedule is CL1 (§5.5): instead of searching, promote a

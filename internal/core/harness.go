@@ -19,6 +19,7 @@ import (
 	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
 )
 
 // EvalNeed selects which reference policies an Eval call must run alongside
@@ -129,6 +130,21 @@ type FaultSetter interface {
 	SetFaults(*faults.Injector)
 }
 
+// RecorderSetter is implemented by harnesses that support the flight
+// recorder: it attaches the recorder to the harness and its agent so
+// train/iter, rl/rollout, and rl/update spans land in one ring.
+type RecorderSetter interface {
+	SetRecorder(*obs.Recorder)
+}
+
+// SetHarnessRecorder attaches the flight recorder on harnesses that
+// support it.
+func SetHarnessRecorder(h Harness, r *obs.Recorder) {
+	if s, ok := h.(RecorderSetter); ok {
+		s.SetRecorder(r)
+	}
+}
+
 // SetHarnessGuard arms the watchdog on harnesses that support it.
 func SetHarnessGuard(h Harness, g *guard.Guard) {
 	if s, ok := h.(GuardSetter); ok {
@@ -142,6 +158,24 @@ func SetHarnessFaults(h Harness, in *faults.Injector) {
 	if s, ok := h.(FaultSetter); ok {
 		s.SetFaults(in)
 	}
+}
+
+// SetRecorder implements RecorderSetter.
+func (h *ABRHarness) SetRecorder(r *obs.Recorder) {
+	h.Recorder = r
+	h.Agent.Recorder = r
+}
+
+// SetRecorder implements RecorderSetter.
+func (h *LBHarness) SetRecorder(r *obs.Recorder) {
+	h.Recorder = r
+	h.Agent.Recorder = r
+}
+
+// SetRecorder implements RecorderSetter.
+func (h *CCHarness) SetRecorder(r *obs.Recorder) {
+	h.Recorder = r
+	h.Agent.Recorder = r
 }
 
 // SetGuard implements GuardSetter.
@@ -174,6 +208,19 @@ func emitTrainIter(m *metrics.Registry, iter int, reward float64) {
 	m.Emit("train/iter",
 		metrics.F{K: "iter", V: float64(iter)},
 		metrics.F{K: "reward", V: reward})
+}
+
+// endTrainIterSpan commits one train/iter span with its annotations;
+// harness Train loops pair it with Recorder.Start("train/iter") around each
+// TrainIteration call. The Enabled guard keeps the disabled path free of
+// the variadic arg slice.
+func endTrainIterSpan(rec *obs.Recorder, sp obs.Span, iter int, reward float64) {
+	if !rec.Enabled() {
+		return
+	}
+	sp.EndArgs(
+		obs.Arg{K: "iter", V: float64(iter)},
+		obs.Arg{K: "reward", V: reward})
 }
 
 // TrainTraditional is Algorithm 1: uniform sampling from the full space for

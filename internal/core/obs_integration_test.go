@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+// TestTrainerFlightRecorderIntegration runs a tiny curriculum and asserts
+// the trainer leaves the expected span trail and live status behind: the
+// observability contract genet-inspect and the /run endpoint build on.
+func TestTrainerFlightRecorderIntegration(t *testing.T) {
+	rec := obs.NewRecorder(1024)
+	status := obs.NewRunStatus()
+	status.SetRun("test", "fake", "genet", 5, 2)
+	h := newFakeHarness(t)
+	tr := NewTrainer(h, Options{
+		Rounds: 2, ItersPerRound: 2, BOSteps: 4, EnvsPerEval: 1, WarmupIters: 1,
+		Recorder: rec, Status: status,
+	})
+	rep, err := tr.Run(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string][]obs.TraceEvent{}
+	for _, e := range rec.Events() {
+		byName[e.Name] = append(byName[e.Name], e)
+	}
+	if n := len(byName["train/warmup"]); n != 1 {
+		t.Errorf("train/warmup spans = %d, want 1", n)
+	}
+	if n := len(byName["train/round"]); n != 2 {
+		t.Errorf("train/round spans = %d, want 2", n)
+	}
+	if n := len(byName["bo/search"]); n != 2 {
+		t.Errorf("bo/search spans = %d, want 2", n)
+	}
+	// Each search runs BOSteps objective queries.
+	if n := len(byName["bo/query"]); n != 8 {
+		t.Errorf("bo/query spans = %d, want 8", n)
+	}
+	promos := rep.Distribution.Promoted()
+	if n := len(byName["curriculum/promote"]); n != len(promos) {
+		t.Errorf("curriculum/promote instants = %d, want %d promotions", n, len(promos))
+	}
+
+	// Round spans carry their index and score annotations.
+	for i, e := range byName["train/round"] {
+		if e.Phase != "X" {
+			t.Errorf("train/round %d phase = %q", i, e.Phase)
+		}
+		if got := e.Args["round"]; got != float64(i) {
+			t.Errorf("train/round %d round arg = %v", i, got)
+		}
+		if _, ok := e.Args["score"]; !ok {
+			t.Errorf("train/round %d missing score arg", i)
+		}
+	}
+	for _, e := range byName["curriculum/promote"] {
+		if e.Phase != "i" {
+			t.Errorf("promote instant phase = %q", e.Phase)
+		}
+	}
+
+	v := status.View()
+	if v.Phase != 1 || v.PhaseName != "round" {
+		t.Errorf("final phase = %d %q, want last round", v.Phase, v.PhaseName)
+	}
+	if len(v.Promotions) != len(promos) {
+		t.Errorf("status promotions = %d, want %d", len(v.Promotions), len(promos))
+	}
+	for i, p := range v.Promotions {
+		if p.Index != i {
+			t.Errorf("promotion %d index = %d", i, p.Index)
+		}
+		if len(p.Values) == 0 {
+			t.Errorf("promotion %d has no config values", i)
+		}
+	}
+}
+
+// TestTrainerObsDisabled: the same run with no recorder/status attached must
+// behave identically (nil contract end to end through the trainer).
+func TestTrainerObsDisabled(t *testing.T) {
+	h := newFakeHarness(t)
+	tr := NewTrainer(h, Options{Rounds: 1, ItersPerRound: 1, BOSteps: 3, EnvsPerEval: 1, WarmupIters: 1})
+	rep, err := tr.Run(rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 1 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+}

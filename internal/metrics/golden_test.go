@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// snapshotGolden is the exact serialized form of the registry built in
+// TestSnapshotGoldenBytes. It pins the byte-level determinism of
+// Snapshot.Write: instrument maps marshal with sorted keys (encoding/json)
+// and histogram buckets are an ordered slice, so two snapshots of
+// identical state always serialize identically — the property run diffs
+// (genet-inspect) and golden CI checks rely on. If this test fails after
+// an intentional schema change, update the constant alongside the
+// DESIGN.md "Observability" section.
+const snapshotGolden = `{
+  "counters": {
+    "bo/evals": 15,
+    "rl/steps": 800,
+    "rl/updates": 2
+  },
+  "gauges": {
+    "curriculum/phase": 3,
+    "train/last_reward": -1.25
+  },
+  "histograms": {
+    "rl/update_seconds": {
+      "count": 4,
+      "sum": 3.875,
+      "min": 0.125,
+      "max": 2,
+      "mean": 0.96875,
+      "buckets": [
+        {
+          "ub": 0.125,
+          "n": 1
+        },
+        {
+          "ub": 0.25,
+          "n": 1
+        },
+        {
+          "ub": 2,
+          "n": 2
+        }
+      ]
+    }
+  }
+}
+`
+
+// TestSnapshotGoldenBytes builds a registry with fixed contents twice and
+// asserts both serializations equal the pinned golden — ordering is fully
+// deterministic, not merely stable within one process.
+func TestSnapshotGoldenBytes(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Registered in non-sorted order on purpose: output order must
+		// come from sorting, not insertion.
+		r.Counter("rl/updates").Add(2)
+		r.Counter("bo/evals").Add(15)
+		r.Counter("rl/steps").Add(800)
+		r.Gauge("train/last_reward").Set(-1.25)
+		r.Gauge("curriculum/phase").Set(3)
+		h := r.Histogram("rl/update_seconds")
+		for _, v := range []float64{2.0, 0.25, 1.5, 0.125} {
+			h.Observe(v)
+		}
+		return r
+	}
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if err := build().Snapshot().Write(&buf); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if got := buf.String(); got != snapshotGolden {
+			t.Fatalf("snapshot bytes diverge from golden (run %d):\ngot:\n%s\nwant:\n%s", i, got, snapshotGolden)
+		}
+	}
+}

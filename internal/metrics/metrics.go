@@ -84,6 +84,22 @@ func (r *Registry) Close() error {
 	return nil
 }
 
+// Flush forces buffered events to the sink's backing writer without
+// closing it, when the sink supports flushing (JSONLSink does). The cmd
+// tools call it at recovery points — guard rollbacks, hard interrupts — so
+// a run that dies mid-stream still leaves a valid, current events file.
+func (r *Registry) Flush() error {
+	if r == nil {
+		return nil
+	}
+	if b := r.sink.Load(); b != nil {
+		if f, ok := b.s.(interface{ Flush() error }); ok {
+			return f.Flush()
+		}
+	}
+	return nil
+}
+
 // Counter returns the named counter, creating it on first use. Nil-safe: a
 // nil registry returns a nil counter whose methods are no-ops.
 func (r *Registry) Counter(name string) *Counter {
@@ -327,6 +343,13 @@ func bucketOf(v float64) int {
 	return i
 }
 
+// BucketCount is one non-empty histogram bucket: its inclusive upper bound
+// (a power of two) and the observations it holds.
+type BucketCount struct {
+	UB    float64 `json:"ub"`
+	Count int64   `json:"n"`
+}
+
 // HistogramSnapshot is the JSON form of a histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -334,10 +357,10 @@ type HistogramSnapshot struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
-	// Buckets maps the bucket's inclusive upper bound (rendered as a
-	// power of two, e.g. "0.00390625") to its count; empty buckets are
-	// omitted.
-	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// Buckets lists the non-empty buckets in ascending upper-bound order.
+	// The ordered-slice form (rather than a map) keeps every rendering of
+	// a snapshot — JSON, Prometheus text, run diffs — byte-deterministic.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // snapshot captures the histogram's current state.
@@ -349,19 +372,15 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.Min = math.Float64frombits(h.minBits.Load())
 	s.Max = math.Float64frombits(h.maxBits.Load())
 	s.Mean = s.Sum / float64(s.Count)
-	s.Buckets = map[string]int64{}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			ub := math.Pow(2, float64(i-histZero))
-			s.Buckets[json.Number(formatFloat(ub)).String()] = n
+			s.Buckets = append(s.Buckets, BucketCount{
+				UB:    math.Pow(2, float64(i-histZero)),
+				Count: n,
+			})
 		}
 	}
 	return s
-}
-
-func formatFloat(v float64) string {
-	b, _ := json.Marshal(v)
-	return string(b)
 }
 
 // Snapshot is a point-in-time dump of every instrument in a registry; it

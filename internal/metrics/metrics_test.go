@@ -68,8 +68,11 @@ func TestInstrumentsAndSnapshot(t *testing.T) {
 		t.Errorf("hist mean = %v, want %v", hs.Mean, want)
 	}
 	var total int64
-	for _, n := range hs.Buckets {
-		total += n
+	for i, b := range hs.Buckets {
+		total += b.Count
+		if i > 0 && hs.Buckets[i-1].UB >= b.UB {
+			t.Errorf("bucket upper bounds not ascending: %v", hs.Buckets)
+		}
 	}
 	if total != 4 {
 		t.Errorf("bucket counts sum to %d, want 4", total)

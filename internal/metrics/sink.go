@@ -70,6 +70,19 @@ func (s *JSONLSink) Emit(e Event) {
 	s.err = s.enc.Encode(e)
 }
 
+// Flush writes buffered events through to the underlying writer without
+// closing it, so the file on disk is valid and current at flush points
+// (guard rollbacks, interrupts) even if the process later dies. It returns
+// the first error seen across emits and flushes.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
+}
+
 // Close flushes buffered events and closes the underlying writer if it is a
 // Closer. It returns the first error seen across emits, flush, and close.
 func (s *JSONLSink) Close() error {

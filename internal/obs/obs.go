@@ -1,0 +1,190 @@
+// Package obs is the observability layer of the repository: a low-overhead
+// span-based flight recorder for the training stack, a Chrome trace_event
+// exporter (loadable in Perfetto or chrome://tracing), a Prometheus
+// text-exposition encoder over metrics.Snapshot, a live introspection HTTP
+// server, and the standard run-directory layout the cmd tools write
+// (manifest.json, events.jsonl, spans.trace.json, checkpoints).
+//
+// The flight recorder follows the same "disabled by default, nearly free
+// when disabled" contract as metrics.Registry: a nil *Recorder is the
+// canonical "off" value, every method on it is a no-op, and the disabled
+// path of a Start/End pair is a pair of nil checks with zero allocations —
+// so the RL hot path carries instrumentation at no cost to production runs
+// that do not opt in. See DESIGN.md "Observability" for the span taxonomy
+// and the cost contract.
+//
+// Spans are committed into a fixed-capacity ring buffer at End time: a
+// long run never grows recorder memory, the newest spans win, and the
+// recorder counts what it dropped so exports are honest about truncation.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the span ring size NewRecorder(0) allocates: 64k spans
+// (~6 MB) holds hours of round/iteration-grained training history.
+const DefaultCapacity = 1 << 16
+
+// Arg is one span annotation: a named float64, mirroring metrics.F so call
+// sites can tag spans and events with the same vocabulary.
+type Arg struct {
+	K string
+	V float64
+}
+
+// record is one committed span in the ring. Args are a fixed-size array so
+// committing never allocates.
+type record struct {
+	name    string
+	track   int32
+	nargs   uint8
+	instant bool
+	start   time.Duration // since the recorder epoch
+	dur     time.Duration
+	args    [maxArgs]Arg
+}
+
+const maxArgs = 4
+
+// Recorder is the flight recorder: it owns the span ring and the epoch all
+// span timestamps are relative to. A nil *Recorder is the canonical
+// "recording off" value; every method on it is a safe no-op.
+//
+// Concurrency: Start is wait-free (it only reads the epoch), End/Instant
+// serialize commits under a mutex, and exports snapshot the ring under the
+// same mutex — safe from any number of goroutines, including par.ForN
+// rollout workers.
+type Recorder struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	ring    []record
+	next    int    // next write slot
+	filled  int    // records held (saturates at len(ring))
+	total   uint64 // spans ever committed
+	dropped uint64 // spans overwritten by ring wrap-around
+}
+
+// NewRecorder returns an enabled recorder holding up to capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		epoch: time.Now(),
+		ring:  make([]record, capacity),
+	}
+}
+
+// Enabled reports whether spans are recorded at all; on a nil recorder it
+// is a single nil check. Hot paths use it to guard arg construction, never
+// Start/End themselves (those are nil-safe and allocation-free).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span is an in-flight span handle returned by Start. The zero Span —
+// returned on a nil recorder — is a valid no-op, so callers never branch.
+// End (or EndArgs) commits the span; a handle that is never ended records
+// nothing.
+type Span struct {
+	r     *Recorder
+	name  string
+	track int32
+	start time.Duration
+}
+
+// Start begins a span on track 0 (the training loop's track). Wait-free and
+// allocation-free on both the enabled and disabled paths.
+func (r *Recorder) Start(name string) Span {
+	return r.StartOn(0, name)
+}
+
+// StartOn begins a span on an explicit track (Chrome trace "tid"); parallel
+// subsystems use distinct tracks so their spans render on separate rows.
+func (r *Recorder) StartOn(track int, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, track: int32(track), start: time.Since(r.epoch)}
+}
+
+// End commits the span with no annotations. No-op on a zero Span.
+func (s Span) End() { s.end(nil) }
+
+// EndArgs commits the span with annotations (at most 4 are kept). The
+// variadic slice escapes nothing, but callers on allocation-sensitive paths
+// should guard with Enabled() so it is never built when recording is off.
+func (s Span) EndArgs(args ...Arg) { s.end(args) }
+
+func (s Span) end(args []Arg) {
+	if s.r == nil {
+		return
+	}
+	dur := time.Since(s.r.epoch) - s.start
+	s.r.commit(s.name, s.track, s.start, dur, false, args)
+}
+
+// Instant records a zero-duration marker span (a trace "instant event"):
+// promotions, rollbacks, quarantines, interrupts. Callers with args should
+// guard with Enabled().
+func (r *Recorder) Instant(name string, args ...Arg) {
+	if r == nil {
+		return
+	}
+	r.commit(name, 0, time.Since(r.epoch), 0, true, args)
+}
+
+func (r *Recorder) commit(name string, track int32, start, dur time.Duration, instant bool, args []Arg) {
+	rec := record{name: name, track: track, start: start, dur: dur, instant: instant}
+	if len(args) > maxArgs {
+		args = args[:maxArgs]
+	}
+	rec.nargs = uint8(copy(rec.args[:], args))
+	r.mu.Lock()
+	if r.filled == len(r.ring) {
+		r.dropped++
+	} else {
+		r.filled++
+	}
+	r.ring[r.next] = rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Stats reports the recorder's bookkeeping: spans currently held, spans
+// ever committed, and spans lost to ring wrap-around.
+type Stats struct {
+	Held    int    `json:"held"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Stats returns the current bookkeeping (zero on a nil recorder).
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{Held: r.filled, Total: r.total, Dropped: r.dropped}
+}
+
+// snapshot copies the held records oldest-first.
+func (r *Recorder) snapshot() []record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]record, 0, r.filled)
+	if r.filled == len(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[:r.filled]...)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderNoOps pins the disabled-path contract: every method on a
+// nil *Recorder (and on the zero Span it hands out) is a safe no-op.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	sp := r.Start("x")
+	sp.End()
+	sp = r.StartOn(3, "y")
+	sp.EndArgs(Arg{K: "a", V: 1})
+	r.Instant("marker")
+	if st := r.Stats(); st != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", st)
+	}
+	if evs := r.Events(); evs != nil {
+		t.Fatalf("nil recorder events = %v", evs)
+	}
+}
+
+// TestNilRecorderZeroAllocs is the overhead contract of satellite 5: the
+// disabled Start/End pair allocates nothing, so instrumented hot paths stay
+// allocation-identical to uninstrumented ones.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start("rl/update")
+		sp.End()
+		sp2 := r.StartOn(1, "rl/rollout")
+		sp2.End()
+		if r.Enabled() {
+			sp.EndArgs(Arg{K: "x", V: 1})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start/End allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRecorderSpansAndStats(t *testing.T) {
+	r := NewRecorder(8)
+	sp := r.Start("a")
+	time.Sleep(time.Millisecond)
+	sp.EndArgs(Arg{K: "k", V: 2})
+	r.Instant("m", Arg{K: "i", V: 1})
+
+	st := r.Stats()
+	if st.Held != 2 || st.Total != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recs := r.snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("held %d records, want 2", len(recs))
+	}
+	if recs[0].name != "a" || recs[0].instant || recs[0].dur <= 0 {
+		t.Errorf("span record = %+v", recs[0])
+	}
+	if recs[0].nargs != 1 || recs[0].args[0] != (Arg{K: "k", V: 2}) {
+		t.Errorf("span args = %+v", recs[0].args[:recs[0].nargs])
+	}
+	if recs[1].name != "m" || !recs[1].instant || recs[1].dur != 0 {
+		t.Errorf("instant record = %+v", recs[1])
+	}
+}
+
+// TestRecorderRingWrap pins drop accounting and oldest-first eviction: with
+// capacity 4 and 10 commits, the ring holds the newest 4 and counts 6
+// dropped.
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
+	for _, n := range names {
+		r.Start(n).End()
+	}
+	st := r.Stats()
+	if st.Held != 4 || st.Total != 10 || st.Dropped != 6 {
+		t.Fatalf("stats after wrap = %+v", st)
+	}
+	recs := r.snapshot()
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if recs[i].name != want {
+			t.Fatalf("ring[%d] = %q, want %q (oldest-first)", i, recs[i].name, want)
+		}
+	}
+}
+
+// TestRecorderArgTruncation: more than maxArgs annotations keep the first
+// maxArgs rather than allocating.
+func TestRecorderArgTruncation(t *testing.T) {
+	r := NewRecorder(4)
+	r.Start("x").EndArgs(
+		Arg{K: "a", V: 1}, Arg{K: "b", V: 2}, Arg{K: "c", V: 3},
+		Arg{K: "d", V: 4}, Arg{K: "e", V: 5})
+	recs := r.snapshot()
+	if recs[0].nargs != maxArgs {
+		t.Fatalf("nargs = %d, want %d", recs[0].nargs, maxArgs)
+	}
+	if recs[0].args[maxArgs-1].K != "d" {
+		t.Fatalf("last kept arg = %+v", recs[0].args[maxArgs-1])
+	}
+}
+
+// TestRecorderConcurrentStress commits spans and instants from many
+// goroutines while another goroutine snapshots and exports; under -race this
+// is the obs data-race check required by the CI race job.
+func TestRecorderConcurrentStress(t *testing.T) {
+	r := NewRecorder(256)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Stats()
+				r.Events()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				sp := r.StartOn(w, "work")
+				sp.EndArgs(Arg{K: "i", V: float64(i)})
+				if i%25 == 0 {
+					r.Instant("tick", Arg{K: "w", V: float64(w)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	want := uint64(workers*perW + workers*perW/25)
+	st := r.Stats()
+	if st.Total != want {
+		t.Fatalf("total = %d, want %d", st.Total, want)
+	}
+	if st.Held != 256 {
+		t.Fatalf("held = %d, want full ring 256", st.Held)
+	}
+	if st.Dropped != want-256 {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, want-256)
+	}
+}
+
+func TestRunStatusNilAndView(t *testing.T) {
+	var s *RunStatus
+	if s.Enabled() {
+		t.Fatal("nil status reports Enabled")
+	}
+	s.SetRun("t", "abr", "genet", 1, 2)
+	s.SetPhase(0)
+	s.SetDistribution(0.7, []Promotion{{Index: 0}})
+	s.SetCheckpoint("x", 1)
+	if v := s.View(); v.Phase != -2 || v.PhaseName != "idle" {
+		t.Fatalf("nil status view = %+v", v)
+	}
+
+	st := NewRunStatus()
+	st.SetRun("genet-train", "abr", "genet", 7, 3)
+	st.SetPhase(-1)
+	if v := st.View(); v.PhaseName != "warmup" {
+		t.Fatalf("phase name = %q, want warmup", v.PhaseName)
+	}
+	st.SetPhase(1)
+	st.SetDistribution(0.49, []Promotion{
+		{Index: 0, Weight: 0.3, Score: 1.5},
+		{Index: 1, Weight: 0, Quarantined: true, Reason: "faulty"},
+	})
+	st.SetCheckpoint("/run/checkpoint.ckpt", 2)
+	v := st.View()
+	if v.Tool != "genet-train" || v.Seed != 7 || v.Rounds != 3 {
+		t.Fatalf("run facts = %+v", v)
+	}
+	if v.Phase != 1 || v.PhaseName != "round" {
+		t.Fatalf("phase = %d %q", v.Phase, v.PhaseName)
+	}
+	if v.BaseWeight != 0.49 || len(v.Promotions) != 2 || v.NumQuarantined != 1 {
+		t.Fatalf("distribution view = %+v", v)
+	}
+	if v.LastCheckpoint == nil || v.LastCheckpoint.Round != 2 {
+		t.Fatalf("checkpoint view = %+v", v.LastCheckpoint)
+	}
+
+	// View is a deep copy: mutating it must not leak back.
+	v.Promotions[0].Weight = 99
+	v.LastCheckpoint.Round = 99
+	v2 := st.View()
+	if v2.Promotions[0].Weight == 99 || v2.LastCheckpoint.Round == 99 {
+		t.Fatal("View aliases internal state")
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+// promNamespace prefixes every exported metric so a scrape of several
+// processes stays unambiguous.
+const promNamespace = "genet_"
+
+// WritePrometheus encodes a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters (suffixed _total per
+// convention), gauges, and histograms with cumulative le buckets ending at
+// +Inf. Output is byte-deterministic: instruments are emitted in sorted
+// name order and histogram buckets ascend, so two snapshots of identical
+// state encode identically — the property the golden test pins and run
+// diffs rely on.
+func WritePrometheus(w io.Writer, s metrics.Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		if !strings.HasSuffix(n, "_total") {
+			n += "_total"
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[k]))
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bk.UB), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a slash-namespaced instrument name ("rl/update_seconds")
+// onto the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* with the genet_
+// prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promNamespace)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+func promSampleSnapshot() metrics.Snapshot {
+	reg := metrics.NewRegistry()
+	reg.Counter("guard/nan_updates").Add(3)
+	reg.Counter("rl/steps_total").Add(1200)
+	reg.Gauge("curriculum/base_weight").Set(0.4375)
+	h := reg.Histogram("rl/update_seconds")
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(3)
+	return reg.Snapshot()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE genet_guard_nan_updates_total counter\ngenet_guard_nan_updates_total 3\n",
+		"# TYPE genet_rl_steps_total counter\ngenet_rl_steps_total 1200\n",
+		"# TYPE genet_curriculum_base_weight gauge\ngenet_curriculum_base_weight 0.4375\n",
+		"# TYPE genet_rl_update_seconds histogram\n",
+		"genet_rl_update_seconds_bucket{le=\"+Inf\"} 3\n",
+		"genet_rl_update_seconds_sum 3.75\n",
+		"genet_rl_update_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Every sample line must fit the exposition grammar, names must carry
+	// the namespace, and counters the _total suffix.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9+.eE-]+(Inf)?$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+		if !strings.HasPrefix(line, promNamespace) {
+			t.Errorf("line %q lacks %s prefix", line, promNamespace)
+		}
+	}
+
+	// Histogram buckets must be cumulative and non-decreasing.
+	bucket := regexp.MustCompile(`genet_rl_update_seconds_bucket\{le="([^"]+)"\} (\d+)`)
+	var prev int64 = -1
+	matches := bucket.FindAllStringSubmatch(out, -1)
+	if len(matches) < 2 {
+		t.Fatalf("expected multiple bucket lines, got %d", len(matches))
+	}
+	for _, m := range matches {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("bucket le=%s count %d below previous %d (not cumulative)", m[1], n, prev)
+		}
+		prev = n
+	}
+	if last := matches[len(matches)-1]; last[1] != "+Inf" || last[2] != "3" {
+		t.Fatalf("final bucket = le=%s %s, want +Inf 3", last[1], last[2])
+	}
+}
+
+// TestWritePrometheusDeterministic: two encodings of the same state are
+// byte-identical (map iteration order must not leak into the output).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	s := promSampleSnapshot()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same snapshot encoded differently across calls")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"rl/update_seconds":  "genet_rl_update_seconds",
+		"bo.query-count":     "genet_bo_query_count",
+		"curriculum/promote": "genet_curriculum_promote",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, metrics.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot produced %q", buf.String())
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+// ServerOptions configures the live introspection handler. All fields are
+// optional; nil sources degrade to empty-but-valid responses so the server
+// can come up before the trainer has produced anything.
+type ServerOptions struct {
+	Metrics  *metrics.Registry
+	Recorder *Recorder
+	Status   *RunStatus
+}
+
+// NewHandler builds the introspection mux:
+//
+//	/healthz        liveness probe ("ok")
+//	/metrics        Prometheus text exposition of the live registry
+//	/run            JSON run status (phase, curriculum, checkpoint, spans)
+//	/trace          Chrome trace_event JSON of the flight-recorder ring
+//	/debug/pprof/*  standard Go profiling endpoints
+func NewHandler(opts ServerOptions) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, opts.Metrics.Snapshot())
+	})
+
+	mux.HandleFunc("/run", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(runPayload(opts))
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		opts.Recorder.WriteTrace(w)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// runReply is the /run response body: the live RunView plus the
+// health-relevant counter slices and flight-recorder occupancy.
+type runReply struct {
+	Run      RunView          `json:"run"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Spans    *Stats           `json:"spans,omitempty"`
+}
+
+// runPayload assembles the /run body. Only counters in the guard/, faults/,
+// and curriculum/ namespaces are inlined — they answer "is this run healthy"
+// without duplicating the full /metrics exposition.
+func runPayload(opts ServerOptions) runReply {
+	reply := runReply{Run: opts.Status.View()}
+	if opts.Metrics.Enabled() {
+		s := opts.Metrics.Snapshot()
+		sel := map[string]int64{}
+		for name, v := range s.Counters {
+			if strings.HasPrefix(name, "guard/") ||
+				strings.HasPrefix(name, "faults/") ||
+				strings.HasPrefix(name, "curriculum/") {
+				sel[name] = v
+			}
+		}
+		if len(sel) > 0 {
+			reply.Counters = sel
+		}
+	}
+	if opts.Recorder.Enabled() {
+		st := opts.Recorder.Stats()
+		reply.Spans = &st
+	}
+	return reply
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	// Addr is the actual listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr and serves the introspection handler in a
+// background goroutine. It returns once the listener is bound so callers can
+// report the resolved address immediately.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(opts), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Close shuts the listener down; in-flight requests are abandoned (the
+// trainer is exiting anyway).
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+func introspectionFixture() ServerOptions {
+	reg := metrics.NewRegistry()
+	reg.Counter("guard/nan_updates").Inc()
+	reg.Counter("rl/steps_total").Add(40) // outside the /run namespaces
+	rec := NewRecorder(64)
+	rec.Start("train/round").EndArgs(Arg{K: "round", V: 0})
+	status := NewRunStatus()
+	status.SetRun("genet-train", "abr", "genet", 7, 3)
+	status.SetPhase(1)
+	return ServerOptions{Metrics: reg, Recorder: rec, Status: status}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(introspectionFixture()))
+	defer ts.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "genet_guard_nan_updates_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/run")
+	if code != 200 {
+		t.Fatalf("/run = %d", code)
+	}
+	var reply struct {
+		Run      RunView          `json:"run"`
+		Counters map[string]int64 `json:"counters"`
+		Spans    *Stats           `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &reply); err != nil {
+		t.Fatalf("/run does not parse: %v\n%s", err, body)
+	}
+	if reply.Run.Tool != "genet-train" || reply.Run.PhaseName != "round" {
+		t.Errorf("/run run view = %+v", reply.Run)
+	}
+	if reply.Counters["guard/nan_updates"] != 1 {
+		t.Errorf("/run counters = %v, want guard/nan_updates", reply.Counters)
+	}
+	if _, leaked := reply.Counters["rl/steps_total"]; leaked {
+		t.Error("/run inlined a counter outside guard//faults//curriculum/")
+	}
+	if reply.Spans == nil || reply.Spans.Total != 1 {
+		t.Errorf("/run spans = %+v", reply.Spans)
+	}
+
+	code, body, _ = get("/trace")
+	if code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	tf, err := ReadTrace(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+	if len(tf.TraceEvents) != 1 || tf.TraceEvents[0].Name != "train/round" {
+		t.Errorf("/trace events = %+v", tf.TraceEvents)
+	}
+
+	if code, body, _ := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestHandlerNilSources: the server must come up (and answer) before the
+// trainer wires any instrumentation in.
+func TestHandlerNilSources(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(ServerOptions{}))
+	defer ts.Close()
+	for _, path := range []string{"/healthz", "/metrics", "/run", "/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d with nil sources", path, resp.StatusCode)
+		}
+		if path == "/run" {
+			var reply runReply
+			if err := json.Unmarshal(body, &reply); err != nil {
+				t.Errorf("/run with nil sources: %v", err)
+			}
+			if reply.Run.PhaseName != "idle" {
+				t.Errorf("nil-source /run phase = %q", reply.Run.PhaseName)
+			}
+		}
+	}
+}
+
+func TestStartServerResolvesAddr(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", introspectionFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("Addr %q not resolved", srv.Addr)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz over real listener = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Promotion is the live view of one promoted curriculum configuration.
+type Promotion struct {
+	// Index is the promotion's position in the curriculum, oldest = 0.
+	Index int `json:"index"`
+	// Values maps dimension names to the promoted configuration.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Weight is the configuration's current sampling probability in the
+	// training mixture (0 when quarantined).
+	Weight float64 `json:"weight"`
+	// Score is the objective value it was promoted with.
+	Score       float64 `json:"score"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+// CheckpointInfo is the live view of the most recent checkpoint write.
+type CheckpointInfo struct {
+	Path  string `json:"path"`
+	Round int    `json:"round"`
+	At    string `json:"at"` // RFC3339
+}
+
+// RunView is the JSON payload of the introspection server's /run endpoint:
+// where the training run is right now.
+type RunView struct {
+	Tool     string `json:"tool,omitempty"`
+	UseCase  string `json:"usecase,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	// Phase is the current curriculum phase: -2 before training starts,
+	// -1 during warm-up, then the round index.
+	Phase     int    `json:"phase"`
+	PhaseName string `json:"phase_name"`
+	// BaseWeight is the probability mass still on the uniform base
+	// distribution; Promotions carry the rest.
+	BaseWeight     float64         `json:"base_weight"`
+	Promotions     []Promotion     `json:"promotions,omitempty"`
+	NumQuarantined int             `json:"num_quarantined"`
+	LastCheckpoint *CheckpointInfo `json:"last_checkpoint,omitempty"`
+	UpdatedAt      string          `json:"updated_at,omitempty"` // RFC3339
+}
+
+// RunStatus is the shared mutable run state the trainer publishes and the
+// introspection server reads. A nil *RunStatus is the canonical "no live
+// status" value; every method on it is a safe no-op, matching the
+// Recorder/Registry discipline so publishing costs nothing when nothing
+// listens.
+type RunStatus struct {
+	mu sync.Mutex
+	v  RunView
+}
+
+// NewRunStatus returns an empty status in the "not started" phase.
+func NewRunStatus() *RunStatus {
+	return &RunStatus{v: RunView{Phase: -2, PhaseName: "idle"}}
+}
+
+// Enabled reports whether anyone is listening; a nil status answers false.
+func (s *RunStatus) Enabled() bool { return s != nil }
+
+// SetRun records the immutable facts of the run being served.
+func (s *RunStatus) SetRun(tool, useCase, strategy string, seed int64, rounds int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.v.Tool, s.v.UseCase, s.v.Strategy = tool, useCase, strategy
+	s.v.Seed, s.v.Rounds = seed, rounds
+	s.touch()
+	s.mu.Unlock()
+}
+
+// SetPhase moves the live phase marker: -1 is warm-up, >= 0 a curriculum
+// round.
+func (s *RunStatus) SetPhase(phase int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.v.Phase = phase
+	switch {
+	case phase <= -2:
+		s.v.PhaseName = "idle"
+	case phase == -1:
+		s.v.PhaseName = "warmup"
+	default:
+		s.v.PhaseName = "round"
+	}
+	s.touch()
+	s.mu.Unlock()
+}
+
+// SetDistribution replaces the live curriculum view: the base-distribution
+// mass and the promotions with their current sampling weights and
+// quarantine flags.
+func (s *RunStatus) SetDistribution(baseWeight float64, promotions []Promotion) {
+	if s == nil {
+		return
+	}
+	cp := make([]Promotion, len(promotions))
+	copy(cp, promotions)
+	nq := 0
+	for _, p := range cp {
+		if p.Quarantined {
+			nq++
+		}
+	}
+	s.mu.Lock()
+	s.v.BaseWeight = baseWeight
+	s.v.Promotions = cp
+	s.v.NumQuarantined = nq
+	s.touch()
+	s.mu.Unlock()
+}
+
+// SetCheckpoint records a successful checkpoint write.
+func (s *RunStatus) SetCheckpoint(path string, round int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.v.LastCheckpoint = &CheckpointInfo{
+		Path:  path,
+		Round: round,
+		At:    time.Now().UTC().Format(time.RFC3339),
+	}
+	s.touch()
+	s.mu.Unlock()
+}
+
+// View returns a deep copy of the current state (zero RunView when nil).
+func (s *RunStatus) View() RunView {
+	if s == nil {
+		return RunView{Phase: -2, PhaseName: "idle"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.v
+	v.Promotions = append([]Promotion(nil), s.v.Promotions...)
+	if s.v.LastCheckpoint != nil {
+		ck := *s.v.LastCheckpoint
+		v.LastCheckpoint = &ck
+	}
+	return v
+}
+
+// touch stamps the last-update time; callers hold the mutex.
+func (s *RunStatus) touch() {
+	s.v.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSpanTree recursively records a random span tree: each parent span
+// opens, its children run strictly inside it, and the parent closes after
+// the last child. Span names encode the tree path so the checker can
+// recover the intended parent of every span.
+func buildSpanTree(r *Recorder, rng *rand.Rand, path string, depth int) int {
+	sp := r.Start(path)
+	n := 1
+	if depth > 0 {
+		kids := rng.Intn(3)
+		for k := 0; k < kids; k++ {
+			n += buildSpanTree(r, rng, fmt.Sprintf("%s/%d", path, k), depth-1)
+		}
+	}
+	sp.End()
+	return n
+}
+
+// TestTraceWellNestedProperty is the satellite-3 property test: for random
+// span trees, the exported trace parses as JSON and every child's complete
+// event lies within its parent's [ts, ts+dur] interval.
+func TestTraceWellNestedProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		r := NewRecorder(4096)
+		total := 0
+		for root := 0; rng.Intn(4) != 0 || root == 0; root++ {
+			total += buildSpanTree(r, rng, fmt.Sprintf("root%d", root), 4)
+		}
+
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Fatalf("trial %d: WriteTrace: %v", trial, err)
+		}
+		tf, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(tf.TraceEvents) != total {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(tf.TraceEvents), total)
+		}
+
+		byName := make(map[string]TraceEvent, len(tf.TraceEvents))
+		for _, e := range tf.TraceEvents {
+			byName[e.Name] = e
+		}
+		const slack = 1e-3 // float µs rounding
+		for name, e := range byName {
+			i := strings.LastIndex(name, "/")
+			if i < 0 {
+				continue // root span
+			}
+			parent, ok := byName[name[:i]]
+			if !ok {
+				t.Fatalf("trial %d: span %q has no parent event", trial, name)
+			}
+			if e.TS+slack < parent.TS || e.TS+e.Dur > parent.TS+parent.Dur+slack {
+				t.Fatalf("trial %d: span %q [%f, %f] escapes parent %q [%f, %f]",
+					trial, name, e.TS, e.TS+e.Dur, name[:i], parent.TS, parent.TS+parent.Dur)
+			}
+		}
+
+		// Events must be time-ordered for viewers.
+		for i := 1; i < len(tf.TraceEvents); i++ {
+			if tf.TraceEvents[i].TS < tf.TraceEvents[i-1].TS {
+				t.Fatalf("trial %d: events not sorted by ts at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestWriteTraceNilAndShape(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace does not parse: %v", err)
+	}
+	if tf.TraceEvents == nil || len(tf.TraceEvents) != 0 {
+		t.Fatalf("nil trace events = %#v, want empty non-null array", tf.TraceEvents)
+	}
+
+	r = NewRecorder(8)
+	r.Start("x").EndArgs(Arg{K: "v", V: 1.5})
+	r.Instant("mark", Arg{K: "round", V: 2})
+	buf.Reset()
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Raw-JSON field checks: the schema Perfetto expects.
+	var raw struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", raw.Unit)
+	}
+	if got := raw.TraceEvents[0]["ph"]; got != "X" {
+		t.Errorf("span ph = %v", got)
+	}
+	if _, ok := raw.TraceEvents[0]["dur"]; !ok {
+		t.Error("complete event missing dur")
+	}
+	if got := raw.TraceEvents[1]["ph"]; got != "i" {
+		t.Errorf("instant ph = %v", got)
+	}
+	if got := raw.TraceEvents[1]["s"]; got != "t" {
+		t.Errorf("instant scope = %v", got)
+	}
+}
+
+// TestTraceDropsNonFiniteArgs: a -Inf annotation (failed BO query) must not
+// make the whole trace unserializable.
+func TestTraceDropsNonFiniteArgs(t *testing.T) {
+	r := NewRecorder(8)
+	r.Start("bo/query").EndArgs(
+		Arg{K: "value", V: math.Inf(-1)},
+		Arg{K: "step", V: 3},
+		Arg{K: "nan", V: math.NaN()})
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace with non-finite args: %v", err)
+	}
+	tf, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := tf.TraceEvents[0].Args
+	if len(args) != 1 || args["step"] != 3 {
+		t.Fatalf("args = %v, want only finite step=3", args)
+	}
+}
+
+func TestWriteTraceFileAtomicAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.trace.json")
+	r := NewRecorder(8)
+	r.Start("a").End()
+	if err := r.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated flushes rewrite in place and leave no temp residue.
+	r.Start("b").End()
+	if err := r.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if residue, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(residue) != 0 {
+		t.Fatalf("temp residue: %v", residue)
+	}
+	tf, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 2 {
+		t.Fatalf("%d events after reflush, want 2", len(tf.TraceEvents))
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	bad := `{"traceEvents":[{"name":"","ph":"X","ts":0}]}`
+	if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Fatal("empty-name event accepted")
+	}
+	bad = `{"traceEvents":[{"name":"x","ph":"Q","ts":0}]}`
+	if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+	if _, err := ReadTraceFile(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/obs"
 	"github.com/genet-go/genet/internal/par"
 )
 
@@ -77,6 +78,11 @@ type DiscreteAgent struct {
 	// gradients, env-step panics, corrupted observations) for chaos
 	// testing. Nil disables injection at zero cost.
 	Faults *faults.Injector
+
+	// Recorder optionally records rl/rollout and rl/update spans in the
+	// flight recorder. Nil — the default — costs one nil check per span
+	// and zero allocations (see obs.Recorder).
+	Recorder *obs.Recorder
 
 	obsBuf []float64        // [n x ObsSize] packed batch observations
 	shards []*discreteShard // reusable per-shard gradient state
@@ -490,6 +496,7 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
 	contain := a.Guard.Enabled()
 	rt := a.Metrics.StartTimer("rl/rollout_seconds")
+	rsp := a.Recorder.Start("rl/rollout")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
 		env := makeEnv(envRng)
@@ -512,6 +519,11 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 		batches[i] = a.collectWith(a.collectPool[i], env, perEnv, envRng)
 	})
 	rt.Stop()
+	if a.Recorder.Enabled() {
+		rsp.EndArgs(
+			obs.Arg{K: "envs", V: float64(numEnvs)},
+			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
+	}
 	a.Guard.ObserveRollouts()
 	merged := &Batch{}
 	for _, b := range batches {
@@ -524,8 +536,15 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 	}
 	a.mergeCaches(merged, batches)
 	ut := a.Metrics.StartTimer("rl/update_seconds")
+	usp := a.Recorder.Start("rl/update")
 	stats = a.Update(merged)
 	ut.Stop()
+	if a.Recorder.Enabled() {
+		usp.EndArgs(
+			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
+			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
+			obs.Arg{K: "entropy", V: stats.Entropy})
+	}
 	return merged.MeanEpisodeReward(), stats
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/genet-go/genet/internal/guard"
 	"github.com/genet-go/genet/internal/metrics"
 	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/obs"
 	"github.com/genet-go/genet/internal/par"
 )
 
@@ -79,6 +80,10 @@ type GaussianAgent struct {
 	// Faults optionally injects deterministic faults for chaos testing;
 	// nil is free. See DiscreteAgent.Faults.
 	Faults *faults.Injector
+
+	// Recorder optionally records rl/rollout and rl/update spans; nil is
+	// free. See DiscreteAgent.Recorder.
+	Recorder *obs.Recorder
 
 	pGrads *nn.Grads
 	vGrads *nn.Grads
@@ -504,6 +509,7 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
 	contain := a.Guard.Enabled()
 	rt := a.Metrics.StartTimer("rl/rollout_seconds")
+	rsp := a.Recorder.Start("rl/rollout")
 	par.For(numEnvs, func(i int) {
 		envRng := rand.New(rand.NewSource(seeds[i]))
 		env := makeEnv(envRng)
@@ -524,6 +530,11 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 		batches[i] = a.Collect(env, perEnv, envRng)
 	})
 	rt.Stop()
+	if a.Recorder.Enabled() {
+		rsp.EndArgs(
+			obs.Arg{K: "envs", V: float64(numEnvs)},
+			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
+	}
 	a.Guard.ObserveRollouts()
 	merged := &Batch{}
 	for _, b := range batches {
@@ -535,8 +546,15 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 		merged.TotalReward += b.TotalReward
 	}
 	ut := a.Metrics.StartTimer("rl/update_seconds")
+	usp := a.Recorder.Start("rl/update")
 	stats = a.Update(merged, rng)
 	ut.Stop()
+	if a.Recorder.Enabled() {
+		usp.EndArgs(
+			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
+			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
+			obs.Arg{K: "kl", V: stats.KL})
+	}
 	return merged.MeanEpisodeReward(), stats
 }
 

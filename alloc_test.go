@@ -1,0 +1,42 @@
+package genet
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/rl"
+)
+
+// TestTrainIterationVecSteadyStateAllocs pins the allocation budget of the
+// vectorized ABR train iteration (collect + merge + update) after warmup.
+// The steady state is a handful of allocations per iteration — episode
+// regeneration, observation encoding, GAE, and the sharded update all run
+// through pooled buffers — and this test fails if a regression reintroduces
+// per-step or per-episode garbage. The budget is 32 (the ISSUE 6 acceptance
+// bound); the measured steady state is ~3 (occasional arena/trace regrowth).
+func TestTrainIterationVecSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pinning is not meaningful under -short")
+	}
+	rng := rand.New(rand.NewSource(10))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, 6), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the rollout to one worker: AllocsPerRun disables parallelism
+	// assumptions poorly, and goroutine spawns in par.For would count.
+	// Results are bit-identical for any worker count, so this loses nothing.
+	agent.RolloutWorkers = 1
+	venv := abr.NewVecEnv(abr.IntoFromConfig(env.ABRSpace(env.RL1).Default(nil)), 2)
+	for i := 0; i < 30; i++ { // warm every pool and arena past its high-water mark
+		agent.TrainIterationVec(venv, 100, rng)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		agent.TrainIterationVec(venv, 100, rng)
+	})
+	if avg > 32 {
+		t.Fatalf("train iteration allocates %.1f/op in steady state, budget 32", avg)
+	}
+}

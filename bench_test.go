@@ -226,6 +226,23 @@ func BenchmarkRLTrainIterationABR(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := env.ABRSpace(env.RL1).Default(nil)
+	venv := abr.NewVecEnv(abr.IntoFromConfig(cfg), 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainIterationVec(venv, 100, rng)
+	}
+}
+
+// BenchmarkRLTrainIterationABRScalar is the legacy per-env path the harnesses
+// used before the vectorized engine, kept for comparison.
+func BenchmarkRLTrainIterationABRScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	agent, err := rl.NewDiscreteAgent(rl.DefaultDiscreteConfig(abr.ObsSize, 6), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.ABRSpace(env.RL1).Default(nil)
 	gen := abr.GenFromConfig(cfg)
 	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
 	b.ReportAllocs()

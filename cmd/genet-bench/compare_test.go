@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseWith(results ...microResult) *microBaseline {
+	return &microBaseline{CPUModel: "TestCPU", NumCPU: 8, Results: results}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 4096})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1100, AllocsPerOp: 10, BytesPerOp: 4096})
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 4096})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1000, AllocsPerOp: 40, BytesPerOp: 4096})
+	regs := compareBaselines(oldB, newB, 0.25, nil)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareAllocAbsoluteGrace(t *testing.T) {
+	// 0 -> 2 allocs passes (the +2 grace); 0 -> 3 fails.
+	oldB := baseWith(microResult{Name: "A", AllocsPerOp: 0})
+	if regs := compareBaselines(oldB, baseWith(microResult{Name: "A", AllocsPerOp: 2}), 0.25, nil); len(regs) != 0 {
+		t.Fatalf("grace failed: %v", regs)
+	}
+	if regs := compareBaselines(oldB, baseWith(microResult{Name: "A", AllocsPerOp: 3}), 0.25, nil); len(regs) != 1 {
+		t.Fatalf("want regression past grace, got %v", regs)
+	}
+}
+
+func TestCompareNsRegressionSameCPU(t *testing.T) {
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1400})
+	regs := compareBaselines(oldB, newB, 0.25, nil)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareNsSkippedAcrossCPUs(t *testing.T) {
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 9000})
+	newB.CPUModel = "OtherCPU"
+	var sb strings.Builder
+	if regs := compareBaselines(oldB, newB, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("cross-CPU ns gating should be off: %v", regs)
+	}
+	if !strings.Contains(sb.String(), "different CPUs") {
+		t.Fatalf("missing cross-CPU note in %q", sb.String())
+	}
+}
+
+func TestCompareNoiseWidensThreshold(t *testing.T) {
+	// Old reps spread ~50% around 1000: threshold becomes 2*0.5 = 100%,
+	// so a 1.4x "regression" that would fail the 25% floor passes.
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000, NsPerOpReps: []float64{750, 1000, 1250}})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1400})
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("noise-aware threshold should absorb this: %v", regs)
+	}
+	// But a 2.2x slowdown still fails the widened gate.
+	newB.Results[0].NsPerOp = 2200
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 1 {
+		t.Fatalf("want regression past widened gate, got %v", regs)
+	}
+}
+
+func TestCompareNewBenchmarkSkipped(t *testing.T) {
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000})
+	newB := baseWith(
+		microResult{Name: "A", NsPerOp: 1000},
+		microResult{Name: "B", NsPerOp: 99999, AllocsPerOp: 1e6})
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("new benchmark must not gate: %v", regs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if s := relSpread([]float64{900, 1000, 1100}); s < 0.19 || s > 0.21 {
+		t.Fatalf("relSpread = %v", s)
+	}
+}

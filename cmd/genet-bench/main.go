@@ -7,6 +7,7 @@
 //	genet-bench [-scale smoke|ci|full] [-seed N] [-out FILE] fig9 fig13 ...
 //	genet-bench [-scale ci] all
 //	genet-bench -micro BENCH_1.json
+//	genet-bench -compare BENCH_5.json BENCH_6.json
 package main
 
 import (
@@ -22,13 +23,16 @@ import (
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "smoke", "experiment budget: smoke|ci|full")
-		seedFlag  = flag.Int64("seed", 42, "random seed")
-		outFlag   = flag.String("out", "", "write results to this file instead of stdout")
-		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		listFlag  = flag.Bool("list", false, "list available experiment ids and exit")
-		microFlag = flag.String("micro", "", "run the RL hot-path micro-benchmarks and write a JSON baseline to this file (e.g. BENCH_1.json), then exit")
-		metFlag   = flag.String("metrics", "", "stream JSON-lines run telemetry to this file (closing line is a summary snapshot)")
+		scaleFlag   = flag.String("scale", "smoke", "experiment budget: smoke|ci|full")
+		seedFlag    = flag.Int64("seed", 42, "random seed")
+		outFlag     = flag.String("out", "", "write results to this file instead of stdout")
+		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		listFlag    = flag.Bool("list", false, "list available experiment ids and exit")
+		microFlag   = flag.String("micro", "", "run the RL hot-path micro-benchmarks and write a JSON baseline to this file (e.g. BENCH_1.json), then exit")
+		repsFlag    = flag.Int("reps", 3, "with -micro: interleaved repetitions per benchmark (min 3); the baseline records the median and the per-rep spread")
+		compareFlag = flag.Bool("compare", false, "compare two BENCH_*.json baselines (old new) and exit non-zero on regression")
+		tolFlag     = flag.Float64("tol", compareTolerance, "with -compare: relative ns/op regression threshold floor (raised automatically by per-rep noise)")
+		metFlag     = flag.String("metrics", "", "stream JSON-lines run telemetry to this file (closing line is a summary snapshot)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
@@ -47,7 +51,17 @@ func main() {
 		return
 	}
 	if *microFlag != "" {
-		if err := runMicro(*microFlag); err != nil {
+		if err := runMicro(*microFlag, *repsFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *compareFlag {
+		args := flag.Args()
+		if len(args) != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two baseline files, got %d", len(args)))
+		}
+		if err := runCompare(args[0], args[1], *tolFlag); err != nil {
 			fatal(err)
 		}
 		return

@@ -62,6 +62,14 @@ func (v *Video) BitrateMbps(level int) float64 { return v.BitratesKbps[level] / 
 // length, with per-chunk size variation of ±5% around the nominal
 // bitrate·duration (variable-bitrate encoding noise), drawn from rng.
 func NewVideo(lengthSec, chunkLen float64, bitratesKbps []float64, rng *rand.Rand) (*Video, error) {
+	return NewVideoInto(nil, lengthSec, chunkLen, bitratesKbps, rng)
+}
+
+// NewVideoInto is NewVideo writing into prev's backing arrays when prev is
+// non-nil, for allocation-free per-episode regeneration in the vectorized
+// training loop. The rng consumption and the resulting video are identical
+// to NewVideo.
+func NewVideoInto(prev *Video, lengthSec, chunkLen float64, bitratesKbps []float64, rng *rand.Rand) (*Video, error) {
 	if chunkLen <= 0 {
 		return nil, fmt.Errorf("abr: non-positive chunk length %f", chunkLen)
 	}
@@ -80,13 +88,23 @@ func NewVideo(lengthSec, chunkLen float64, bitratesKbps []float64, rng *rand.Ran
 	if n < 1 {
 		n = 1
 	}
-	v := &Video{
-		BitratesKbps: append([]float64(nil), bitratesKbps...),
-		ChunkLength:  chunkLen,
+	v := prev
+	if v == nil {
+		v = &Video{}
 	}
-	v.Sizes = make([][]float64, len(bitratesKbps))
+	v.BitratesKbps = append(v.BitratesKbps[:0], bitratesKbps...)
+	v.ChunkLength = chunkLen
+	if cap(v.Sizes) < len(bitratesKbps) {
+		v.Sizes = make([][]float64, len(bitratesKbps))
+	} else {
+		v.Sizes = v.Sizes[:len(bitratesKbps)]
+	}
 	for l, br := range bitratesKbps {
-		v.Sizes[l] = make([]float64, n)
+		if cap(v.Sizes[l]) < n {
+			v.Sizes[l] = make([]float64, n)
+		} else {
+			v.Sizes[l] = v.Sizes[l][:n]
+		}
 		for c := 0; c < n; c++ {
 			nominal := br * 1000 / 8 * chunkLen // bytes
 			v.Sizes[l][c] = nominal * (0.95 + 0.1*rng.Float64())
@@ -120,22 +138,34 @@ type SimConfig struct {
 // NewSim builds a session. The trace is replayed (wrapped) if the download
 // outlasts it.
 func NewSim(v *Video, tr *trace.Trace, cfg SimConfig) (*Sim, error) {
-	if v.NumChunks() == 0 {
-		return nil, fmt.Errorf("abr: empty video")
-	}
-	if err := tr.Validate(); err != nil {
+	s := new(Sim)
+	if err := s.Init(v, tr, cfg); err != nil {
 		return nil, err
 	}
-	if cfg.MaxBufferSec <= 0 {
-		return nil, fmt.Errorf("abr: non-positive max buffer %f", cfg.MaxBufferSec)
+	return s, nil
+}
+
+// Init resets s in place to a fresh session over the given content, exactly
+// as NewSim would construct it. It lets the vectorized training loop reuse
+// one Sim per slot across episodes instead of allocating one per Reset.
+func (s *Sim) Init(v *Video, tr *trace.Trace, cfg SimConfig) error {
+	if v.NumChunks() == 0 {
+		return fmt.Errorf("abr: empty video")
 	}
-	return &Sim{
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	if cfg.MaxBufferSec <= 0 {
+		return fmt.Errorf("abr: non-positive max buffer %f", cfg.MaxBufferSec)
+	}
+	*s = Sim{
 		video:     v,
 		trace:     tr,
 		rttSec:    math.Max(0, cfg.RTTMs) / 1000,
 		maxBuffer: cfg.MaxBufferSec,
 		lastLevel: -1,
-	}, nil
+	}
+	return nil
 }
 
 // Video returns the session's video.
@@ -275,14 +305,21 @@ func (s *Sim) FutureDownloadTime(level, chunk int, atClock float64) float64 {
 // NextSizes returns the byte sizes of the upcoming chunk at every level, or
 // nil when the session is done.
 func (s *Sim) NextSizes() []float64 {
+	return s.NextSizesInto(nil)
+}
+
+// NextSizesInto is NextSizes appending into dst (overwriting from dst[:0]),
+// so per-step callers can reuse one buffer. Returns nil when the session is
+// done, leaving dst's backing array intact for the next episode.
+func (s *Sim) NextSizesInto(dst []float64) []float64 {
 	if s.Done() {
 		return nil
 	}
-	out := make([]float64, s.video.NumLevels())
-	for l := range out {
-		out[l] = s.video.Sizes[l][s.chunk]
+	dst = dst[:0]
+	for l := 0; l < s.video.NumLevels(); l++ {
+		dst = append(dst, s.video.Sizes[l][s.chunk])
 	}
-	return out
+	return dst
 }
 
 // RemainingChunks returns how many chunks are left to download.

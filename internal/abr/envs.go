@@ -19,6 +19,13 @@ type Instance struct {
 	Video  *Video
 	Trace  *trace.Trace
 	SimCfg SimConfig
+
+	// synth is the reusable synthetic-trace scratch for in-place
+	// regeneration (InstanceInto). It is distinct from Trace because a
+	// trace-driven episode points Trace at a shared trace-set entry, which
+	// must never be written; the synthetic scratch survives such episodes
+	// so the next synthetic one can reuse its arrays.
+	synth *trace.Trace
 }
 
 // NewInstance materializes an environment from cfg. When tr is nil a
@@ -62,6 +69,14 @@ func (in *Instance) NewSim() *Sim {
 	return s
 }
 
+// ResetSim restarts s in place as a fresh session over this instance,
+// equivalent to NewSim without the allocation.
+func (in *Instance) ResetSim(s *Sim) {
+	if err := s.Init(in.Video, in.Trace, in.SimCfg); err != nil {
+		panic(fmt.Sprintf("abr: instance invariant violated: %v", err)) // instances are validated at construction
+	}
+}
+
 // Evaluate streams the instance's video with policy and returns metrics.
 func (in *Instance) Evaluate(policy Policy) Metrics {
 	return RunEpisode(in.NewSim(), policy)
@@ -90,7 +105,13 @@ func squash(x, c float64) float64 {
 // evaluation adapter use this single encoder, so train and test views are
 // identical by construction.
 func ObsVector(obs *Observation) []float64 {
-	v := make([]float64, 0, ObsSize)
+	return AppendObsVector(make([]float64, 0, ObsSize), obs)
+}
+
+// AppendObsVector appends the ObsSize-element encoding of obs to v and
+// returns the extended slice. Callers on the hot path pass a reused buffer
+// sliced to [:0]; ObsVector is the allocating convenience wrapper.
+func AppendObsVector(v []float64, obs *Observation) []float64 {
 	lastBr := 0.0
 	if obs.LastLevel >= 0 {
 		lastBr = obs.Video.BitrateMbps(obs.LastLevel) / obs.Video.BitrateMbps(obs.Video.NumLevels()-1)
@@ -168,6 +189,82 @@ func pickMatchingTrace(cfg env.Config, set *trace.Set, rng *rand.Rand) *trace.Tr
 		return set.Sample(rng)
 	}
 	return matching.Sample(rng)
+}
+
+// InstanceInto is the reusing form of InstanceGen: it materializes a fresh
+// environment instance per episode, writing into prev's backing arrays when
+// prev is non-nil. The rng consumption is identical to the corresponding
+// InstanceGen, so a slot driven by an InstanceInto sees bit-identical
+// episodes to one driven by the equivalent generator with the same rng.
+type InstanceInto func(rng *rand.Rand, prev *Instance) *Instance
+
+// regenInstance is NewInstance writing into prev, preserving NewInstance's
+// rng draw order (video first, then synthetic trace).
+func regenInstance(cfg env.Config, tr *trace.Trace, rng *rand.Rand, prev *Instance) (*Instance, error) {
+	if prev == nil {
+		prev = &Instance{}
+	}
+	video, err := NewVideoInto(prev.Video, cfg.Get(env.ABRVideoLength), cfg.Get(env.ABRChunkLength), DefaultBitratesKbps, rng)
+	if err != nil {
+		return nil, err
+	}
+	prev.Video = video
+	if tr == nil {
+		maxBW := cfg.Get(env.ABRMaxBW)
+		synth, err := trace.GenerateABRInto(prev.synth, trace.ABRGenConfig{
+			MinBW:          cfg.Get(env.ABRBWMinRatio) * maxBW,
+			MaxBW:          maxBW,
+			ChangeInterval: cfg.Get(env.ABRBWChangeInterval),
+			// Generate enough trace to cover slow sessions; it wraps anyway.
+			Duration: cfg.Get(env.ABRVideoLength) * 3,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		prev.synth = synth
+		tr = synth
+	}
+	prev.Trace = tr
+	prev.SimCfg = SimConfig{
+		RTTMs:        cfg.Get(env.ABRMinRTT),
+		MaxBufferSec: cfg.Get(env.ABRMaxBuffer),
+	}
+	return prev, nil
+}
+
+// IntoFromConfig is GenFromConfig in reusing form.
+func IntoFromConfig(cfg env.Config) InstanceInto {
+	return func(rng *rand.Rand, prev *Instance) *Instance {
+		in, err := regenInstance(cfg, nil, rng, prev)
+		if err != nil {
+			panic(fmt.Sprintf("abr: config instance: %v", err))
+		}
+		return in
+	}
+}
+
+// IntoFromDistribution is GenFromDistribution in reusing form. Trace-driven
+// episodes alias the sampled set trace (never written); synthetic episodes
+// reuse the instance's private trace scratch.
+func IntoFromDistribution(dist *env.Distribution, set *trace.Set, traceProb float64) InstanceInto {
+	return func(rng *rand.Rand, prev *Instance) *Instance {
+		cfg := dist.Sample(rng)
+		var tr *trace.Trace
+		if set != nil && set.Len() > 0 && rng.Float64() < traceProb {
+			tr = pickMatchingTrace(cfg, set, rng)
+		}
+		in, err := regenInstance(cfg, tr, rng, prev)
+		if err != nil {
+			panic(fmt.Sprintf("abr: distribution instance: %v", err))
+		}
+		return in
+	}
+}
+
+// IntoFromGen adapts any InstanceGen as an InstanceInto (without reuse — the
+// generator allocates per episode as always).
+func IntoFromGen(gen InstanceGen) InstanceInto {
+	return func(rng *rand.Rand, _ *Instance) *Instance { return gen(rng) }
 }
 
 // RLEnv adapts the ABR simulator to rl.DiscreteEnv. Each Reset draws a new

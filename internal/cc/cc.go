@@ -100,20 +100,31 @@ type Sim struct {
 
 // NewSim builds a connection simulator. rng drives loss and delay noise.
 func NewSim(tr *trace.Trace, link LinkParams, rng *rand.Rand) (*Sim, error) {
-	if err := tr.Validate(); err != nil {
+	s := new(Sim)
+	if err := s.Init(tr, link, rng); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Init resets s in place to a fresh connection, exactly as NewSim would
+// construct it, so the vectorized training loop can reuse one Sim per slot.
+func (s *Sim) Init(tr *trace.Trace, link LinkParams, rng *rand.Rand) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
 	if link.QueuePackets < 1 {
-		return nil, fmt.Errorf("cc: queue of %f packets", link.QueuePackets)
+		return fmt.Errorf("cc: queue of %f packets", link.QueuePackets)
 	}
 	if link.RandomLoss < 0 || link.RandomLoss >= 1 {
-		return nil, fmt.Errorf("cc: loss rate %f outside [0,1)", link.RandomLoss)
+		return fmt.Errorf("cc: loss rate %f outside [0,1)", link.RandomLoss)
 	}
 	baseRTT := 2 * link.OneWayDelayMs / 1000
 	if baseRTT <= 0 {
 		baseRTT = 0.002
 	}
-	return &Sim{trace: tr, link: link, rng: rng, baseRTT: baseRTT, minSeen: math.Inf(1)}, nil
+	*s = Sim{trace: tr, link: link, rng: rng, baseRTT: baseRTT, minSeen: math.Inf(1)}
+	return nil
 }
 
 // BaseRTT returns the propagation RTT in seconds.

@@ -23,6 +23,11 @@ type Instance struct {
 	Link  LinkParams
 	// Duration of a connection in seconds.
 	Duration float64
+
+	// synth is the reusable synthetic-trace scratch for in-place
+	// regeneration (InstanceInto); see the abr package for the aliasing
+	// rationale.
+	synth *trace.Trace
 }
 
 // NewInstance materializes a CC environment from cfg. When tr is nil a
@@ -156,6 +161,79 @@ func GenFromDistribution(dist *env.Distribution, set *trace.Set, traceProb float
 		}
 		return in
 	}
+}
+
+// InstanceInto is the reusing form of InstanceGen: it materializes a fresh
+// instance per episode, writing into prev's backing arrays when prev is
+// non-nil, with rng consumption identical to the corresponding InstanceGen.
+type InstanceInto func(rng *rand.Rand, prev *Instance) *Instance
+
+// regenInstance is NewInstance writing into prev.
+func regenInstance(cfg env.Config, tr *trace.Trace, rng *rand.Rand, prev *Instance) (*Instance, error) {
+	if prev == nil {
+		prev = &Instance{}
+	}
+	if tr == nil {
+		synth, err := trace.GenerateCCInto(prev.synth, trace.CCGenConfig{
+			MaxBW:          math.Max(cfg.Get(env.CCMaxBW), 1),
+			ChangeInterval: cfg.Get(env.CCBWChangeInterval),
+			Duration:       EpisodeDuration,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		prev.synth = synth
+		tr = synth
+	}
+	prev.Trace = tr
+	prev.Link = LinkParams{
+		OneWayDelayMs: cfg.Get(env.CCMinRTT) / 2,
+		QueuePackets:  math.Max(cfg.Get(env.CCQueue), 1),
+		RandomLoss:    cfg.Get(env.CCLossRate),
+		DelayNoiseMs:  cfg.Get(env.CCDelayNoise),
+	}
+	prev.Duration = EpisodeDuration
+	return prev, nil
+}
+
+// IntoFromConfig is GenFromConfig in reusing form.
+func IntoFromConfig(cfg env.Config) InstanceInto {
+	return func(rng *rand.Rand, prev *Instance) *Instance {
+		in, err := regenInstance(cfg, nil, rng, prev)
+		if err != nil {
+			panic(fmt.Sprintf("cc: config instance: %v", err))
+		}
+		return in
+	}
+}
+
+// IntoFromDistribution is GenFromDistribution in reusing form.
+func IntoFromDistribution(dist *env.Distribution, set *trace.Set, traceProb float64) InstanceInto {
+	return func(rng *rand.Rand, prev *Instance) *Instance {
+		cfg := dist.Sample(rng)
+		var tr *trace.Trace
+		if set != nil && set.Len() > 0 && rng.Float64() < traceProb {
+			maxBW := cfg.Get(env.CCMaxBW)
+			matching := set.Filter(func(f trace.Features) bool {
+				return f.MeanBW <= maxBW
+			})
+			if matching.Len() > 0 {
+				tr = matching.Sample(rng)
+			} else {
+				tr = set.Sample(rng)
+			}
+		}
+		in, err := regenInstance(cfg, tr, rng, prev)
+		if err != nil {
+			panic(fmt.Sprintf("cc: distribution instance: %v", err))
+		}
+		return in
+	}
+}
+
+// IntoFromGen adapts any InstanceGen as an InstanceInto (without reuse).
+func IntoFromGen(gen InstanceGen) InstanceInto {
+	return func(rng *rand.Rand, _ *Instance) *Instance { return gen(rng) }
 }
 
 // RateActionScale bounds how much one action can move the sending rate: the

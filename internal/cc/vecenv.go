@@ -1,0 +1,85 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VecEnv is the native vectorized CC training environment: K independent
+// connections with per-slot state regenerated in place (synthetic trace,
+// simulator, feature history) instead of reallocated per episode. It
+// implements rl.ContinuousVecEnv; slot i driven with rng R is bit-identical
+// to NewRLEnv over the equivalent generator driven with the same R.
+type VecEnv struct {
+	mat   InstanceInto
+	slots []vecSlot
+}
+
+// vecSlot is one connection's reusable state. The feature history is a fixed
+// array (the scalar env allocates a fresh slice per Reset).
+type vecSlot struct {
+	inst  *Instance
+	sim   Sim
+	rate  float64
+	scale float64
+	hist  [HistMIs][featuresPerMI]float64
+}
+
+// NewVecEnv builds a width-slot vectorized environment over the materializer.
+func NewVecEnv(mat InstanceInto, width int) *VecEnv {
+	if width <= 0 {
+		panic("cc: non-positive vec env width")
+	}
+	return &VecEnv{mat: mat, slots: make([]vecSlot, width)}
+}
+
+// ObsSize implements rl.ContinuousVecEnv.
+func (*VecEnv) ObsSize() int { return ObsSize }
+
+// ActionDim implements rl.ContinuousVecEnv.
+func (*VecEnv) ActionDim() int { return 1 }
+
+// Width implements rl.ContinuousVecEnv.
+func (v *VecEnv) Width() int { return len(v.slots) }
+
+// ResetSlot implements rl.ContinuousVecEnv, mirroring RLEnv.Reset: draw the
+// instance, start a connection (the slot's rng also drives loss and delay
+// noise), draw the log-uniform initial rate, clear the history.
+func (v *VecEnv) ResetSlot(i int, rng *rand.Rand, obs []float64) {
+	s := &v.slots[i]
+	s.inst = v.mat(rng, s.inst)
+	if err := s.sim.Init(s.inst.Trace, s.inst.Link, rng); err != nil {
+		panic("cc: instance invariant violated: " + err.Error())
+	}
+	meanBW := s.inst.Trace.Mean()
+	lo, hi := 0.05, math.Max(0.1, 2*meanBW)
+	s.rate = lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+	s.scale = RewardScale(meanBW)
+	s.hist = [HistMIs][featuresPerMI]float64{}
+	s.writeObs(obs)
+}
+
+// StepSlot implements rl.ContinuousVecEnv, mirroring RLEnv.Step.
+func (v *VecEnv) StepSlot(i int, action []float64, obs []float64) (float64, bool) {
+	s := &v.slots[i]
+	if s.inst == nil {
+		panic("cc: StepSlot before ResetSlot")
+	}
+	s.rate = ApplyRateAction(s.rate, action[0])
+	mi := s.sim.RunMI(s.rate)
+	copy(s.hist[:], s.hist[1:])
+	s.hist[len(s.hist)-1] = miFeatures(mi)
+	done := s.sim.Clock() >= s.inst.Duration
+	s.writeObs(obs)
+	return TrainReward(mi.Reward(), s.scale), done
+}
+
+// writeObs overwrites obs (length ObsSize) with the slot's observation,
+// matching RLEnv.obs element for element.
+func (s *vecSlot) writeObs(obs []float64) {
+	v := obs[:0]
+	for _, f := range s.hist {
+		v = append(v, f[0], f[1], f[2])
+	}
+	_ = append(v, rateFeature(s.rate))
+}

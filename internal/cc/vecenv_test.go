@@ -1,0 +1,86 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/rl"
+	"github.com/genet-go/genet/internal/trace"
+)
+
+// Equivalence contract of the native vectorized CC environment: CollectVec
+// over NewVecEnv(IntoFromX(...), k) is bit-identical per slot to sequential
+// Collect over NewRLEnv(GenFromX(...)) with the same seed. This is stronger
+// than in the discrete case because one rng stream drives the instance draw,
+// the connection's loss/delay noise, the initial-rate draw, AND the action
+// sampling — any reordering of a single draw diverges immediately.
+
+func ccSameBatches(t *testing.T, tag string, seq, vec *rl.Batch) {
+	t.Helper()
+	if seq.Episodes != vec.Episodes || seq.TotalReward != vec.TotalReward {
+		t.Fatalf("%s: header diverges", tag)
+	}
+	if len(seq.Transitions) != len(vec.Transitions) {
+		t.Fatalf("%s: %d sequential vs %d vectorized transitions",
+			tag, len(seq.Transitions), len(vec.Transitions))
+	}
+	for j := range seq.Transitions {
+		s, v := seq.Transitions[j], vec.Transitions[j]
+		for d := range s.Obs {
+			if math.Float64bits(s.Obs[d]) != math.Float64bits(v.Obs[d]) {
+				t.Fatalf("%s step %d dim %d: obs %v vs %v", tag, j, d, s.Obs[d], v.Obs[d])
+			}
+		}
+		for d := range s.ActionC {
+			if math.Float64bits(s.ActionC[d]) != math.Float64bits(v.ActionC[d]) {
+				t.Fatalf("%s step %d: action diverges", tag, j)
+			}
+		}
+		if s.LogProb != v.LogProb || s.Reward != v.Reward || s.Value != v.Value ||
+			s.Done != v.Done || s.Truncate != v.Truncate || s.LastVal != v.LastVal {
+			t.Fatalf("%s step %d: transitions diverge\nseq: %+v\nvec: %+v", tag, j, s, v)
+		}
+	}
+}
+
+func ccVecEquivCheck(t *testing.T, tag string, gen InstanceGen, mat InstanceInto, width, perSlot int) {
+	t.Helper()
+	agent, err := rl.NewGaussianAgent(rl.DefaultGaussianConfig(ObsSize, 1), rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]int64, width)
+	for i := range seeds {
+		seeds[i] = int64(5000 + 17*i)
+	}
+	seq := make([]*rl.Batch, width)
+	for i := range seq {
+		seq[i] = agent.Collect(NewRLEnv(gen), perSlot, rand.New(rand.NewSource(seeds[i])))
+	}
+	venv := NewVecEnv(mat, width)
+	_ = agent.CollectVec(venv, perSlot, seeds)
+	vec := agent.CollectVec(venv, perSlot, seeds) // reused slot state
+	for i := range seq {
+		ccSameBatches(t, tag, seq[i], vec[i])
+	}
+}
+
+func TestVecEnvMatchesRLEnvConfig(t *testing.T) {
+	cfg := defaultCCCfg()
+	for _, width := range []int{1, 2, 4} {
+		ccVecEquivCheck(t, "config", GenFromConfig(cfg), IntoFromConfig(cfg), width, 80)
+	}
+}
+
+func TestVecEnvMatchesRLEnvDistribution(t *testing.T) {
+	dist := env.NewDistribution(env.CCSpace(env.RL3))
+	tr := &trace.Trace{Name: "const", Timestamps: []float64{0, 30}, Bandwidth: []float64{3, 3}}
+	set := &trace.Set{Name: "s", Traces: []*trace.Trace{tr}}
+	gen := GenFromDistribution(dist, set, 0.5)
+	mat := IntoFromDistribution(dist, set, 0.5)
+	for _, width := range []int{1, 3} {
+		ccVecEquivCheck(t, "distribution", gen, mat, width, 80)
+	}
+}

@@ -263,17 +263,145 @@ func Read(r io.Reader) (*File, error) {
 	return f, nil
 }
 
-// ReadFile parses the checkpoint at path.
+// ReadFile parses the checkpoint at path. Section payloads alias the file
+// buffer (read once, never copied); the buffer is owned by the returned File.
 func ReadFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	f, err := Read(bytes.NewReader(data))
-	if err != nil {
+	f := &File{}
+	if err := parseData(f, data, nil); err != nil {
 		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
 	return f, nil
+}
+
+// ReadPool amortizes repeated checkpoint reads (rollback probes, resume
+// loops, health-guard scans) to near-zero steady-state allocations: the file
+// bytes land in one reused buffer, section payloads alias that buffer
+// instead of being copied, section names are interned, and the returned File
+// is reused. A File returned by a pool's ReadFile is valid only until the
+// pool's next ReadFile call; callers needing longer-lived sections must copy
+// them (or use the package-level ReadFile).
+type ReadPool struct {
+	buf   []byte
+	file  File
+	names map[string]string
+}
+
+// NewReadPool returns an empty pool.
+func NewReadPool() *ReadPool {
+	return &ReadPool{names: make(map[string]string)}
+}
+
+// ReadFile parses the checkpoint at path into the pool's reused buffers.
+func (p *ReadPool) ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	size := int(st.Size())
+	if cap(p.buf) < size {
+		p.buf = make([]byte, size)
+	}
+	p.buf = p.buf[:size]
+	if _, err := io.ReadFull(f, p.buf); err != nil {
+		return nil, fmt.Errorf("ckpt: read %s: %w", path, noEOF(err))
+	}
+	if err := parseData(&p.file, p.buf, p.names); err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return &p.file, nil
+}
+
+// parseData parses an in-memory checkpoint into f, reusing f's name list and
+// section map across calls. Payloads alias data. When intern is non-nil,
+// section-name strings are reused across calls through it.
+func parseData(f *File, data []byte, intern map[string]string) error {
+	if len(data) < 16 {
+		return fmt.Errorf("ckpt: read header: %w", io.ErrUnexpectedEOF)
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return fmt.Errorf("ckpt: bad magic %q (not a checkpoint file)", data[:8])
+	}
+	le := binary.LittleEndian
+	version := le.Uint32(data[8:12])
+	if version == 0 || version > FormatVersion {
+		return fmt.Errorf("ckpt: unsupported format version %d (this build reads <= %d)", version, FormatVersion)
+	}
+	count := le.Uint32(data[12:16])
+	if count > maxSections {
+		return fmt.Errorf("ckpt: corrupt header: %d sections", count)
+	}
+	f.version = version
+	f.names = f.names[:0]
+	if f.sections == nil {
+		f.sections = make(map[string][]byte, count)
+	} else {
+		clear(f.sections)
+	}
+	// First pass: walk the table, recording name and payload extents.
+	off := 16
+	type extent struct {
+		nameLo, nameHi int
+		size           uint64
+		crc            uint32
+	}
+	// The table is tiny (a few sections); a fixed on-stack prefix covers the
+	// common case without allocating.
+	var extBuf [8]extent
+	exts := extBuf[:0]
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(data) {
+			return fmt.Errorf("ckpt: read section table: %w", io.ErrUnexpectedEOF)
+		}
+		nameLen := int(le.Uint16(data[off : off+2]))
+		off += 2
+		if off+nameLen+12 > len(data) {
+			return fmt.Errorf("ckpt: read section table: %w", io.ErrUnexpectedEOF)
+		}
+		e := extent{nameLo: off, nameHi: off + nameLen}
+		off += nameLen
+		e.size = le.Uint64(data[off : off+8])
+		e.crc = le.Uint32(data[off+8 : off+12])
+		off += 12
+		exts = append(exts, e)
+	}
+	// Second pass: slice payloads out of data and verify CRCs.
+	for _, e := range exts {
+		if e.size > uint64(len(data)-off) {
+			name := string(data[e.nameLo:e.nameHi])
+			return fmt.Errorf("ckpt: section %q truncated: %w", name, io.ErrUnexpectedEOF)
+		}
+		payload := data[off : off+int(e.size) : off+int(e.size)]
+		off += int(e.size)
+		nameBytes := data[e.nameLo:e.nameHi]
+		var name string
+		if intern != nil {
+			var ok bool
+			if name, ok = intern[string(nameBytes)]; !ok {
+				name = string(nameBytes)
+				intern[name] = name
+			}
+		} else {
+			name = string(nameBytes)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != e.crc {
+			return fmt.Errorf("ckpt: section %q CRC mismatch (file corrupt)", name)
+		}
+		if _, dup := f.sections[name]; dup {
+			return fmt.Errorf("ckpt: duplicate section %q", name)
+		}
+		f.names = append(f.names, name)
+		f.sections[name] = payload
+	}
+	return nil
 }
 
 // readPayload reads a size-prefixed payload without trusting size for the

@@ -1,0 +1,112 @@
+package ckpt
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestCkpt(t *testing.T, path string, payload []byte) {
+	t.Helper()
+	w := NewWriter()
+	if err := w.Add("agent", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddGob("rng", RandState{Seed: 7, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPoolMatchesReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	payload := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 1000)
+	writeTestCkpt(t, path, payload)
+
+	pool := NewReadPool()
+	for i := 0; i < 3; i++ { // reuse across reads
+		plain, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := pool.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Version() != pooled.Version() {
+			t.Fatal("versions diverge")
+		}
+		pn, qn := plain.Sections(), pooled.Sections()
+		if len(pn) != len(qn) {
+			t.Fatalf("section counts diverge: %v vs %v", pn, qn)
+		}
+		for j := range pn {
+			if pn[j] != qn[j] {
+				t.Fatalf("section order diverges: %v vs %v", pn, qn)
+			}
+			a, _ := plain.Section(pn[j])
+			b, _ := pooled.Section(pn[j])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("section %q payloads diverge", pn[j])
+			}
+		}
+		var rs RandState
+		if err := pooled.Gob("rng", &rs); err != nil {
+			t.Fatal(err)
+		}
+		if rs.Seed != 7 || rs.Count != 3 {
+			t.Fatalf("rng state %+v", rs)
+		}
+	}
+}
+
+func TestReadPoolInvalidatesPriorFile(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.ckpt"), filepath.Join(dir, "b.ckpt")
+	writeTestCkpt(t, a, bytes.Repeat([]byte{0xAA}, 64))
+	writeTestCkpt(t, b, bytes.Repeat([]byte{0xBB}, 64))
+
+	pool := NewReadPool()
+	fa, err := pool.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := fa.Section("agent")
+	if sa[0] != 0xAA {
+		t.Fatal("first read wrong")
+	}
+	if _, err := pool.ReadFile(b); err != nil {
+		t.Fatal(err)
+	}
+	// The pool documented that fa is now invalid: its payloads alias the
+	// reused buffer, which now holds b's bytes.
+	if sa[0] != 0xBB {
+		t.Fatal("expected the pooled buffer to be reused (doc contract changed?)")
+	}
+}
+
+func TestReadPoolSteadyStateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	writeTestCkpt(t, path, bytes.Repeat([]byte{9}, 60_000))
+
+	pool := NewReadPool()
+	for i := 0; i < 3; i++ {
+		if _, err := pool.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := pool.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// os.Open + Stat cost a couple of allocations; the parse itself must
+	// cost none in steady state.
+	if avg > 6 {
+		t.Fatalf("pooled read allocates %.1f/op in steady state", avg)
+	}
+}

@@ -84,13 +84,12 @@ func (h *ABRHarness) Space() *env.Space { return h.space }
 
 // Train implements Harness.
 func (h *ABRHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []float64 {
-	gen := abr.GenFromDistribution(dist, h.TraceSet, h.traceProb())
-	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return abr.NewRLEnv(gen) }
+	venv := abr.NewVecEnv(abr.IntoFromDistribution(dist, h.TraceSet, h.traceProb()), h.envsPerIter())
 	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		sp := h.Recorder.Start("train/iter")
-		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
+		reward, _ := h.Agent.TrainIterationVec(venv, h.stepsPerIter(), rng)
 		curve[i] = reward
 		emitTrainIter(h.Metrics, i, reward)
 		endTrainIterSpan(h.Recorder, sp, i, reward)

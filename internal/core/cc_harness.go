@@ -79,13 +79,12 @@ func (h *CCHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []f
 			traceProb = 0.3
 		}
 	}
-	gen := cc.GenFromDistribution(dist, h.TraceSet, traceProb)
-	makeEnv := func(r *rand.Rand) rl.ContinuousEnv { return cc.NewRLEnv(gen) }
+	venv := cc.NewVecEnv(cc.IntoFromDistribution(dist, h.TraceSet, traceProb), h.envsPerIter())
 	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		sp := h.Recorder.Start("train/iter")
-		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
+		reward, _ := h.Agent.TrainIterationVec(venv, h.stepsPerIter(), rng)
 		curve[i] = reward
 		emitTrainIter(h.Metrics, i, reward)
 		endTrainIterSpan(h.Recorder, sp, i, reward)

@@ -65,13 +65,12 @@ func (h *LBHarness) Space() *env.Space { return h.space }
 
 // Train implements Harness.
 func (h *LBHarness) Train(dist *env.Distribution, iters int, rng *rand.Rand) []float64 {
-	gen := lb.GenFromDistribution(dist)
-	makeEnv := func(r *rand.Rand) rl.DiscreteEnv { return lb.NewRLEnv(gen) }
+	venv := lb.NewVecEnv(lb.GenFromDistribution(dist), h.envsPerIter())
 	h.Agent.Reserve(h.envsPerIter() * h.stepsPerIter())
 	curve := make([]float64, iters)
 	for i := 0; i < iters; i++ {
 		sp := h.Recorder.Start("train/iter")
-		reward, _ := h.Agent.TrainIteration(makeEnv, h.envsPerIter(), h.stepsPerIter(), rng)
+		reward, _ := h.Agent.TrainIterationVec(venv, h.stepsPerIter(), rng)
 		curve[i] = reward
 		emitTrainIter(h.Metrics, i, reward)
 		endTrainIterSpan(h.Recorder, sp, i, reward)

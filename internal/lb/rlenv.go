@@ -18,7 +18,12 @@ const ObsSize = 2 + 2*NumServers
 // encoding keeps resolution from idle queues up to deep overload, and stays
 // scale free across the Table 5 job-size range.
 func ObsVector(obs *Observation) []float64 {
-	v := make([]float64, 0, ObsSize)
+	return AppendObsVector(make([]float64, 0, ObsSize), obs)
+}
+
+// AppendObsVector appends the ObsSize-element encoding of obs to v and
+// returns the extended slice; hot-path callers pass a reused buffer at [:0].
+func AppendObsVector(v []float64, obs *Observation) []float64 {
 	ref := obs.MeanJobBytes
 	if ref <= 0 {
 		ref = 1

@@ -14,9 +14,15 @@ import (
 // of the naive per-sample loop and reuses each weight row across the block.
 //
 // Determinism: for a fixed batch the kernels accumulate in a fixed order, so
-// results are bit-identical run to run. They are NOT bit-identical to the
-// per-sample Forward/Backward path (summation order differs); equivalence
-// holds to ~1e-12 relative error and is pinned by tests.
+// results are bit-identical run to run. The batched *forward* additionally
+// computes every output row exactly as a batch of one would — each output is
+// one dot product (dotAsm or dotUnroll) plus the bias, independent of the
+// other rows — so ForwardBatch over K rows is bit-identical per row to K
+// ForwardBatch(1) calls. The vectorized rollout engine in internal/rl relies
+// on this to keep batched action sampling bit-identical to sequential
+// collection. The batched *backward* kernels still reassociate sums across
+// the batch and are NOT bit-identical to the per-sample Backward path;
+// equivalence holds to ~1e-12 relative error and is pinned by tests.
 
 // Scratch owns the reusable buffers for one in-flight batched
 // forward/backward pass over a specific MLP architecture. A Scratch is sized
@@ -249,6 +255,21 @@ func (c *BatchCache) AppendScratch(s *Scratch) {
 	c.n += s.batch
 }
 
+// AppendScratchRow copies row r of the last forward pass retained in s onto
+// the end of the cache. It is the per-slot variant of AppendScratch for the
+// vectorized rollout engine: one batched forward covers many environment
+// slots, and each slot's activation cache records only its own row.
+func (c *BatchCache) AppendScratchRow(s *Scratch, r int) {
+	if r < 0 || r >= s.batch {
+		panic(fmt.Sprintf("nn: scratch row %d of %d", r, s.batch))
+	}
+	c.reserve(1)
+	for l, w := range c.sizes {
+		copy(c.acts[l][c.n*w:(c.n+1)*w], s.acts[l][r*w:(r+1)*w])
+	}
+	c.n++
+}
+
 // AppendCache copies all rows of o onto the end of c (used to merge per-env
 // rollout caches in env index order).
 func (c *BatchCache) AppendCache(o *BatchCache) {
@@ -289,10 +310,16 @@ func (m *MLP) BackwardBatchRows(c *BatchCache, start, end int, gradOut []float64
 }
 
 // matmulNT computes dst = src * wᵀ + bias over batch rows: src is [b x in],
-// w is the layer's flat (out x in) matrix, dst is [b x out]. On amd64 with
-// AVX2+FMA each output is a vectorized dot product; the scalar fallback
-// processes rows four at a time so each weight row is loaded once per block
-// and the four accumulators pipeline independently.
+// w is the layer's flat (out x in) matrix, dst is [b x out].
+//
+// Every output element is computed as bias[o] + dot(weightRow, inputRow)
+// with the same dot kernel a 1-row batch would use (dotAsm with AVX2+FMA,
+// dotUnroll otherwise), so each row of a batched forward is bit-identical
+// to the corresponding single-row forward — the property the vectorized
+// rollout engine's determinism contract rests on. The scalar fallback
+// iterates output-column-major so each weight row is loaded once and
+// streamed across all batch rows; dotUnroll's four independent accumulators
+// keep the FP pipeline busy.
 func matmulNT(dst, src, w, bias []float64, b, in, out int) {
 	if useASM {
 		for r := 0; r < b; r++ {
@@ -304,37 +331,11 @@ func matmulNT(dst, src, w, bias []float64, b, in, out int) {
 		}
 		return
 	}
-	r := 0
-	for ; r+4 <= b; r += 4 {
-		x0 := src[r*in : r*in+in]
-		x1 := src[(r+1)*in : (r+1)*in+in]
-		x2 := src[(r+2)*in : (r+2)*in+in]
-		x3 := src[(r+3)*in : (r+3)*in+in]
-		d0 := dst[r*out : r*out+out]
-		d1 := dst[(r+1)*out : (r+1)*out+out]
-		d2 := dst[(r+2)*out : (r+2)*out+out]
-		d3 := dst[(r+3)*out : (r+3)*out+out]
-		for o := 0; o < out; o++ {
-			row := w[o*in : o*in+in]
-			var s0, s1, s2, s3 float64
-			for i, wv := range row {
-				s0 += wv * x0[i]
-				s1 += wv * x1[i]
-				s2 += wv * x2[i]
-				s3 += wv * x3[i]
-			}
-			bo := bias[o]
-			d0[o] = s0 + bo
-			d1[o] = s1 + bo
-			d2[o] = s2 + bo
-			d3[o] = s3 + bo
-		}
-	}
-	for ; r < b; r++ {
-		xr := src[r*in : r*in+in]
-		dr := dst[r*out : r*out+out]
-		for o := 0; o < out; o++ {
-			dr[o] = bias[o] + dotUnroll(w[o*in:o*in+in], xr)
+	for o := 0; o < out; o++ {
+		row := w[o*in : o*in+in]
+		bo := bias[o]
+		for r := 0; r < b; r++ {
+			dst[r*out+o] = bo + dotUnroll(row, src[r*in:r*in+in])
 		}
 	}
 }

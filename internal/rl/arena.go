@@ -47,6 +47,14 @@ func growFloats(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+// growInts is growFloats for []int.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
 // updateShardSize is the fixed number of transitions per gradient shard in
 // the parallel minibatch update. It is a constant — never a function of the
 // worker count — so the shard partition, each shard's accumulation order,

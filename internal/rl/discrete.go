@@ -61,6 +61,13 @@ type DiscreteAgent struct {
 	// reduce in index order, so workers only changes who computes what.
 	UpdateWorkers int
 
+	// RolloutWorkers caps the goroutines used for rollout collection in
+	// TrainIterationVec (0 means GOMAXPROCS). Bit-identical for every
+	// value: each slot owns its rng stream and the batched forward computes
+	// every row exactly as a batch of one would, so the worker grouping
+	// only changes which goroutine computes what.
+	RolloutWorkers int
+
 	// Metrics optionally receives per-update telemetry (loss, entropy, grad
 	// norm) and rollout/kernel/update time splits. Nil — the default — is
 	// free on the hot path: every metrics call is guarded or nil-safe, and
@@ -98,6 +105,35 @@ type DiscreteAgent struct {
 	// produced from a pooled state are valid until the same slot collects
 	// again; TrainIteration consumes them within the iteration.
 	collectPool []*discreteCollectState
+
+	// Pooled per-iteration transients for TrainIterationVec: the seed and
+	// rng pools, the per-slot batch pointers and episode-reward
+	// accumulators, the [K x ObsSize] current-observation matrix, the
+	// per-worker lockstep engines, the scalar slot views for the
+	// guarded/faulted fallback, the merged batch, and the GAE buffers.
+	// Together these make the steady-state iteration allocation-free.
+	seedBuf   []int64
+	rngPool   []*rand.Rand
+	batchPtrs []*Batch
+	epRew     []float64
+	vecObs    []float64
+	vecGroups []*discreteVecGroup
+	slotViews []slotDiscreteEnv
+	merged    Batch
+	advBuf    []float64
+	retBuf    []float64
+}
+
+// ensureRngs grows the pooled per-slot rng list to k generators and reseeds
+// generator i from seedBuf[i] — bit-identical to a fresh
+// rand.New(rand.NewSource(seed)) without the two allocations.
+func (a *DiscreteAgent) ensureRngs(k int) {
+	for len(a.rngPool) < k {
+		a.rngPool = append(a.rngPool, rand.New(rand.NewSource(0)))
+	}
+	for i := 0; i < k; i++ {
+		a.rngPool[i].Seed(a.seedBuf[i])
+	}
 }
 
 // discreteCollectState is the reusable workspace of one rollout: forward
@@ -109,6 +145,7 @@ type discreteCollectState struct {
 	probs          []float64
 	ar             floatArena
 	trs            []Transition
+	batch          Batch // reusable batch header for the vectorized engine
 }
 
 func (a *DiscreteAgent) newCollectState(maxSteps int) *discreteCollectState {
@@ -321,7 +358,9 @@ func (a *DiscreteAgent) Update(batch *Batch) UpdateStats {
 	if n == 0 {
 		return UpdateStats{}
 	}
-	adv, returns := GAE(batch, a.cfg.Gamma, a.cfg.Lambda)
+	a.advBuf = growFloats(a.advBuf, n)
+	a.retBuf = growFloats(a.retBuf, n)
+	adv, returns := gaeInto(a.advBuf, a.retBuf, batch, a.cfg.Gamma, a.cfg.Lambda)
 	NormalizeAdvantages(adv)
 
 	// On-policy fast path: reuse the activations recorded during Collect
@@ -525,27 +564,7 @@ func (a *DiscreteAgent) TrainIteration(makeEnv func(rng *rand.Rand) DiscreteEnv,
 			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
 	}
 	a.Guard.ObserveRollouts()
-	merged := &Batch{}
-	for _, b := range batches {
-		if b == nil {
-			continue
-		}
-		merged.Transitions = append(merged.Transitions, b.Transitions...)
-		merged.Episodes += b.Episodes
-		merged.TotalReward += b.TotalReward
-	}
-	a.mergeCaches(merged, batches)
-	ut := a.Metrics.StartTimer("rl/update_seconds")
-	usp := a.Recorder.Start("rl/update")
-	stats = a.Update(merged)
-	ut.Stop()
-	if a.Recorder.Enabled() {
-		usp.EndArgs(
-			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
-			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
-			obs.Arg{K: "entropy", V: stats.Entropy})
-	}
-	return merged.MeanEpisodeReward(), stats
+	return a.mergeAndUpdate(batches)
 }
 
 // mergeCaches concatenates the per-env rollout activation caches — in env

@@ -69,6 +69,11 @@ type GaussianAgent struct {
 	// see DiscreteAgent.UpdateWorkers.
 	UpdateWorkers int
 
+	// RolloutWorkers caps the goroutines for vectorized rollout collection
+	// in TrainIterationVec (0 means GOMAXPROCS); bit-identical for every
+	// value. See DiscreteAgent.RolloutWorkers.
+	RolloutWorkers int
+
 	// Metrics optionally receives per-update telemetry; nil (the default)
 	// is free on the hot path. See DiscreteAgent.Metrics.
 	Metrics *metrics.Registry
@@ -91,6 +96,21 @@ type GaussianAgent struct {
 	obsBuf []float64 // [mb x ObsSize] gathered minibatch observations
 	stdBuf []float64
 	shards []*gaussianShard // reusable per-shard gradient state
+
+	// Pooled per-iteration transients for TrainIterationVec; see the
+	// DiscreteAgent fields of the same names.
+	collectPool []*gaussianCollectState
+	seedBuf     []int64
+	rngPool     []*rand.Rand
+	batchPtrs   []*Batch
+	epRew       []float64
+	vecObs      []float64
+	vecGroups   []*gaussianVecGroup
+	slotViews   []slotContinuousEnv
+	merged      Batch
+	advBuf      []float64
+	retBuf      []float64
+	idxBuf      []int
 }
 
 // gaussianShard is the private workspace of one PPO gradient shard.
@@ -279,8 +299,14 @@ func (a *GaussianAgent) Collect(env ContinuousEnv, maxSteps int, rng *rand.Rand)
 // time, so deferring them trades n latency-bound single-row forwards for one
 // throughput-bound batched pass.
 func (a *GaussianAgent) fillValues(b *Batch, obsMat []float64) {
+	a.fillValuesWith(b, obsMat, a.value.NewScratch(len(b.Transitions)))
+}
+
+// fillValuesWith is fillValues over a caller-owned scratch (the pooled path
+// used by the vectorized engine).
+func (a *GaussianAgent) fillValuesWith(b *Batch, obsMat []float64, vs *nn.Scratch) {
 	n := len(b.Transitions)
-	vals := a.value.ForwardBatch(a.value.NewScratch(n), obsMat, n)
+	vals := a.value.ForwardBatch(vs, obsMat, n)
 	for i := range b.Transitions {
 		b.Transitions[i].Value = vals[i]
 	}
@@ -299,7 +325,9 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 	if n == 0 {
 		return UpdateStats{}
 	}
-	adv, returns := GAE(batch, a.cfg.Gamma, a.cfg.Lambda)
+	a.advBuf = growFloats(a.advBuf, n)
+	a.retBuf = growFloats(a.retBuf, n)
+	adv, returns := gaeInto(a.advBuf, a.retBuf, batch, a.cfg.Gamma, a.cfg.Lambda)
 	NormalizeAdvantages(adv)
 
 	mb := a.cfg.Minibatch
@@ -307,7 +335,8 @@ func (a *GaussianAgent) Update(batch *Batch, rng *rand.Rand) UpdateStats {
 		mb = n
 	}
 	var stats, mbMark UpdateStats
-	idx := make([]int, n)
+	a.idxBuf = growInts(a.idxBuf, n)
+	idx := a.idxBuf
 	for i := range idx {
 		idx[i] = i
 	}
@@ -536,26 +565,7 @@ func (a *GaussianAgent) TrainIteration(makeEnv func(rng *rand.Rand) ContinuousEn
 			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
 	}
 	a.Guard.ObserveRollouts()
-	merged := &Batch{}
-	for _, b := range batches {
-		if b == nil {
-			continue
-		}
-		merged.Transitions = append(merged.Transitions, b.Transitions...)
-		merged.Episodes += b.Episodes
-		merged.TotalReward += b.TotalReward
-	}
-	ut := a.Metrics.StartTimer("rl/update_seconds")
-	usp := a.Recorder.Start("rl/update")
-	stats = a.Update(merged, rng)
-	ut.Stop()
-	if a.Recorder.Enabled() {
-		usp.EndArgs(
-			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
-			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
-			obs.Arg{K: "kl", V: stats.KL})
-	}
-	return merged.MeanEpisodeReward(), stats
+	return a.mergeAndUpdate(batches, rng)
 }
 
 // Clone returns an independent copy of the agent with fresh optimizer state.

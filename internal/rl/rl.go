@@ -91,8 +91,13 @@ func (b *Batch) MeanEpisodeReward() float64 {
 // order; Done/Truncate mark boundaries.
 func GAE(batch *Batch, gamma, lambda float64) (advantages, returns []float64) {
 	n := len(batch.Transitions)
-	advantages = make([]float64, n)
-	returns = make([]float64, n)
+	return gaeInto(make([]float64, n), make([]float64, n), batch, gamma, lambda)
+}
+
+// gaeInto is GAE over caller-owned buffers (len == len(batch.Transitions)),
+// the allocation-free path the per-iteration update uses.
+func gaeInto(advantages, returns []float64, batch *Batch, gamma, lambda float64) ([]float64, []float64) {
+	n := len(batch.Transitions)
 	var nextAdv, nextValue float64
 	for i := n - 1; i >= 0; i-- {
 		t := &batch.Transitions[i]

@@ -1,0 +1,290 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/obs"
+	"github.com/genet-go/genet/internal/par"
+)
+
+// This file implements the vectorized rollout path of the discrete agent:
+// instead of one single-row policy forward per environment step, a lockstep
+// engine steps a group of environment slots per tick and runs one batched
+// forward over their stacked observations. Per-slot results are bit-identical
+// to the scalar collect loop: every row of a batched forward equals the
+// batch-1 forward of that row (see nn.matmulNT), each slot draws all its
+// randomness from its own rng, and per-slot activation caches record rows in
+// the slot's own step order.
+
+// discreteVecGroup is the reusable per-worker state of the lockstep engine:
+// a forward scratch sized for the group, the packed observation matrix of
+// the currently active slots, and the active-slot list.
+type discreteVecGroup struct {
+	ps    *nn.Scratch // policy scratch, grown to the group's slot count
+	vs1   *nn.Scratch // batch-1 value scratch for truncation bootstraps
+	x     []float64   // [m x ObsSize] packed active-slot observations
+	slots []int       // active slot indices, ascending
+	probs []float64   // softmax workspace, one row
+}
+
+func (a *DiscreteAgent) ensureVecGroups(g int) {
+	for len(a.vecGroups) < g {
+		a.vecGroups = append(a.vecGroups, &discreteVecGroup{
+			vs1:   a.value.NewScratch(1),
+			probs: make([]float64, a.cfg.NumActions),
+		})
+	}
+}
+
+func (a *DiscreteAgent) rolloutWorkers() int {
+	if a.RolloutWorkers > 0 {
+		return a.RolloutWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// growIterState sizes the pooled per-iteration slot arrays for k slots of
+// observation width d.
+func (a *DiscreteAgent) growIterState(k, d int) {
+	if cap(a.batchPtrs) < k {
+		a.batchPtrs = make([]*Batch, k)
+	}
+	a.batchPtrs = a.batchPtrs[:k]
+	a.epRew = growFloats(a.epRew, k)
+	a.vecObs = growFloats(a.vecObs, k*d)
+	if cap(a.slotViews) < k {
+		a.slotViews = make([]slotDiscreteEnv, k)
+	}
+	a.slotViews = a.slotViews[:k]
+}
+
+// CollectVec rolls the policy through every slot of venv using the
+// vectorized engine and returns one batch per slot. Slot i's batch is
+// bit-identical to Collect over the equivalent scalar environment with
+// rand.New(rand.NewSource(seeds[i])) — the property the per-env equivalence
+// tests in the abr, cc, and lb packages pin.
+//
+// Batches alias the agent's pooled per-slot workspaces and stay valid only
+// until the next collect; callers consume them within the iteration.
+func (a *DiscreteAgent) CollectVec(venv DiscreteVecEnv, perSlot int, seeds []int64) []*Batch {
+	k := venv.Width()
+	if len(seeds) != k {
+		panic("rl: CollectVec seed count does not match env width")
+	}
+	a.seedBuf = growInt64(a.seedBuf, k)
+	copy(a.seedBuf, seeds)
+	a.collectVec(venv, perSlot)
+	out := make([]*Batch, k)
+	copy(out, a.batchPtrs[:k])
+	return out
+}
+
+// collectVec runs the vectorized engine over every slot of venv, seeding
+// slot rngs from a.seedBuf and leaving the per-slot batches in a.batchPtrs.
+func (a *DiscreteAgent) collectVec(venv DiscreteVecEnv, perSlot int) {
+	k := venv.Width()
+	d := venv.ObsSize()
+	a.ensureRngs(k)
+	a.ensureCollectPool(k, perSlot)
+	a.growIterState(k, d)
+	groups := a.rolloutWorkers()
+	if groups > k {
+		groups = k
+	}
+	a.ensureVecGroups(groups)
+	par.ForN(groups, groups, func(gi int) {
+		lo, hi := groupBounds(gi, groups, k)
+		a.collectVecGroup(a.vecGroups[gi], venv, lo, hi, perSlot)
+	})
+}
+
+// collectVecGroup runs the lockstep collect loop over slots [lo,hi): reset
+// every slot, then per tick pack the active slots' observations, run one
+// batched policy forward, and advance each active slot (in index order)
+// through sample, step, and episode bookkeeping — the exact per-slot state
+// machine of the scalar collectWith loop.
+func (a *DiscreteAgent) collectVecGroup(g *discreteVecGroup, venv DiscreteVecEnv, lo, hi, perSlot int) {
+	d := venv.ObsSize()
+	na := venv.NumActions()
+	if g.ps == nil {
+		g.ps = a.policy.NewScratch(hi - lo)
+	}
+	g.slots = g.slots[:0]
+	for i := lo; i < hi; i++ {
+		st := a.collectPool[i]
+		st.pCache.Reset()
+		st.vCache.Reset()
+		st.ar.reset()
+		st.batch = Batch{Transitions: st.trs[:0]}
+		a.batchPtrs[i] = &st.batch
+		a.epRew[i] = 0
+		venv.ResetSlot(i, a.rngPool[i], a.vecObs[i*d:(i+1)*d])
+		g.slots = append(g.slots, i)
+	}
+	for len(g.slots) > 0 {
+		m := len(g.slots)
+		g.x = growFloats(g.x, m*d)
+		for r, i := range g.slots {
+			copy(g.x[r*d:(r+1)*d], a.vecObs[i*d:(i+1)*d])
+		}
+		logits := a.policy.ForwardBatchCache(g.ps, g.x, m)
+		w := 0
+		for r, i := range g.slots {
+			st := a.collectPool[i]
+			b := &st.batch
+			row := a.vecObs[i*d : (i+1)*d]
+			st.pCache.AppendScratchRow(g.ps, r)
+			nn.SoftmaxInto(g.probs, logits[r*na:(r+1)*na])
+			action := categoricalSample(g.probs, a.rngPool[i])
+			tr := Transition{
+				Obs: st.ar.clone(row), Action: action,
+				LogProb: math.Log(math.Max(g.probs[action], 1e-12)),
+			}
+			tr.Reward, tr.Done = venv.StepSlot(i, action, row)
+			a.epRew[i] += tr.Reward
+			alive := true
+			if !tr.Done && len(b.Transitions)+1 >= perSlot && b.Episodes > 0 {
+				// Truncate: bootstrap from V(s'), as in collectWith.
+				tr.Truncate = true
+				tr.LastVal = a.value.ForwardBatch(g.vs1, row, 1)[0]
+				b.Transitions = append(b.Transitions, tr)
+				alive = false
+			} else {
+				b.Transitions = append(b.Transitions, tr)
+				if tr.Done {
+					b.Episodes++
+					b.TotalReward += a.epRew[i]
+					a.epRew[i] = 0
+					if len(b.Transitions) >= perSlot {
+						alive = false
+					} else {
+						venv.ResetSlot(i, a.rngPool[i], row)
+					}
+				}
+			}
+			if alive {
+				g.slots[w] = i
+				w++
+			} else {
+				a.finishCollect(b, st)
+				st.trs = b.Transitions[:0]
+			}
+		}
+		g.slots = g.slots[:w]
+	}
+}
+
+// collectSlotsScalar is TrainIterationVec's guarded/fault-injected collect
+// path: the scalar per-slot loop of TrainIteration run over slot views of
+// venv. Fault streams stay keyed by the slot seed and a contained panic
+// leaves a nil batch, exactly as in TrainIteration — bit-identical chaos
+// schedules and containment behaviour, at the scalar path's cost.
+func (a *DiscreteAgent) collectSlotsScalar(venv DiscreteVecEnv, perSlot int, wrapFaults, contain bool) {
+	k := venv.Width()
+	d := venv.ObsSize()
+	a.ensureRngs(k)
+	a.ensureCollectPool(k, perSlot)
+	a.growIterState(k, d)
+	for i := 0; i < k; i++ {
+		a.slotViews[i] = slotDiscreteEnv{v: venv, i: i, row: a.vecObs[i*d : (i+1)*d]}
+	}
+	par.For(k, func(i int) {
+		var env DiscreteEnv = &a.slotViews[i]
+		if wrapFaults {
+			env = wrapFaultyDiscrete(env, a.Faults, a.seedBuf[i])
+		}
+		if contain {
+			defer func() {
+				if r := recover(); r != nil {
+					a.batchPtrs[i] = nil
+					a.Guard.RecordRolloutFault(r)
+					a.Metrics.Counter("guard/contained_rollouts").Inc()
+				}
+			}()
+		}
+		a.batchPtrs[i] = a.collectWith(a.collectPool[i], env, perSlot, a.rngPool[i])
+	})
+}
+
+// TrainIterationVec is TrainIteration over a vectorized environment: one
+// collect-and-update iteration of totalSteps transitions split across the
+// environment's Width() slots, with rollout collection batched through the
+// lockstep engine. Per-slot seeds are drawn from rng up front — in slot
+// order, exactly as TrainIteration draws per-env seeds — and batches merge
+// in slot index order, so a TrainIterationVec over a vectorized environment
+// is bit-identical to TrainIteration over the equivalent scalar ones, for
+// every RolloutWorkers value.
+//
+// When the guard or rollout fault injection is armed, collection falls back
+// to the scalar per-slot loop (still parallel across slots) so per-env
+// panic containment and fault-stream keying behave exactly as
+// TrainIteration's.
+func (a *DiscreteAgent) TrainIterationVec(venv DiscreteVecEnv, totalSteps int, rng *rand.Rand) (meanEpReward float64, stats UpdateStats) {
+	k := venv.Width()
+	if k <= 0 {
+		panic("rl: TrainIterationVec over a zero-width env")
+	}
+	perEnv := totalSteps / k
+	if perEnv < 1 {
+		perEnv = 1
+	}
+	a.seedBuf = growInt64(a.seedBuf, k)
+	for i := range a.seedBuf {
+		a.seedBuf[i] = rng.Int63()
+	}
+	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
+	contain := a.Guard.Enabled()
+	rt := a.Metrics.StartTimer("rl/rollout_seconds")
+	rsp := a.Recorder.Start("rl/rollout")
+	if wrapFaults || contain {
+		a.collectSlotsScalar(venv, perEnv, wrapFaults, contain)
+	} else {
+		a.collectVec(venv, perEnv)
+	}
+	rt.Stop()
+	if a.Recorder.Enabled() {
+		rsp.EndArgs(
+			obs.Arg{K: "envs", V: float64(k)},
+			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
+	}
+	a.Guard.ObserveRollouts()
+	return a.mergeAndUpdate(a.batchPtrs[:k])
+}
+
+// mergeAndUpdate merges the per-slot batches (in index order, skipping
+// contained nil entries) into the agent's pooled merged batch and runs one
+// Update over it, with the update-side telemetry both TrainIteration
+// variants share.
+func (a *DiscreteAgent) mergeAndUpdate(batches []*Batch) (float64, UpdateStats) {
+	merged := &a.merged
+	merged.Transitions = merged.Transitions[:0]
+	merged.Episodes = 0
+	merged.TotalReward = 0
+	merged.pCache, merged.vCache = nil, nil
+	merged.cacheOwner = nil
+	merged.cacheVersion = 0
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		merged.Transitions = append(merged.Transitions, b.Transitions...)
+		merged.Episodes += b.Episodes
+		merged.TotalReward += b.TotalReward
+	}
+	a.mergeCaches(merged, batches)
+	ut := a.Metrics.StartTimer("rl/update_seconds")
+	usp := a.Recorder.Start("rl/update")
+	stats := a.Update(merged)
+	ut.Stop()
+	if a.Recorder.Enabled() {
+		usp.EndArgs(
+			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
+			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
+			obs.Arg{K: "entropy", V: stats.Entropy})
+	}
+	return merged.MeanEpisodeReward(), stats
+}

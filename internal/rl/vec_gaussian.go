@@ -1,0 +1,294 @@
+package rl
+
+import (
+	"math/rand"
+	"runtime"
+
+	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/nn"
+	"github.com/genet-go/genet/internal/obs"
+	"github.com/genet-go/genet/internal/par"
+)
+
+// This file is the GaussianAgent twin of vec_discrete.go: the vectorized
+// (lockstep, batched-forward) rollout path for continuous-action
+// environments, plus the pooled per-slot collect workspaces the scalar
+// Collect path never needed (it allocates per call; PPO training goes
+// through TrainIterationVec instead).
+
+// gaussianCollectState is the reusable per-slot rollout workspace: the
+// obs/action arena, the packed observation matrix for the deferred value
+// pass, the transitions backing array, and the value scratch for that pass.
+type gaussianCollectState struct {
+	ar     floatArena
+	obsMat []float64
+	trs    []Transition
+	vsN    *nn.Scratch
+	batch  Batch
+}
+
+func (a *GaussianAgent) ensureCollectPool(k, maxSteps int) {
+	for len(a.collectPool) < k {
+		a.collectPool = append(a.collectPool, &gaussianCollectState{
+			obsMat: make([]float64, 0, (maxSteps+1)*a.cfg.ObsSize),
+			trs:    make([]Transition, 0, maxSteps+1),
+			vsN:    a.value.NewScratch(maxSteps + 1),
+		})
+	}
+}
+
+// gaussianVecGroup is the reusable per-worker lockstep engine state.
+type gaussianVecGroup struct {
+	ps    *nn.Scratch // policy scratch, grown to the group's slot count
+	vs1   *nn.Scratch // batch-1 value scratch for truncation bootstraps
+	x     []float64   // [m x ObsSize] packed active-slot observations
+	slots []int       // active slot indices, ascending
+	std   []float64   // std snapshot (parameters are frozen during collect)
+}
+
+func (a *GaussianAgent) ensureVecGroups(g int) {
+	for len(a.vecGroups) < g {
+		a.vecGroups = append(a.vecGroups, &gaussianVecGroup{
+			vs1: a.value.NewScratch(1),
+			std: make([]float64, a.cfg.ActionDim),
+		})
+	}
+}
+
+func (a *GaussianAgent) rolloutWorkers() int {
+	if a.RolloutWorkers > 0 {
+		return a.RolloutWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ensureRngs mirrors DiscreteAgent.ensureRngs.
+func (a *GaussianAgent) ensureRngs(k int) {
+	for len(a.rngPool) < k {
+		a.rngPool = append(a.rngPool, rand.New(rand.NewSource(0)))
+	}
+	for i := 0; i < k; i++ {
+		a.rngPool[i].Seed(a.seedBuf[i])
+	}
+}
+
+func (a *GaussianAgent) growIterState(k, d int) {
+	if cap(a.batchPtrs) < k {
+		a.batchPtrs = make([]*Batch, k)
+	}
+	a.batchPtrs = a.batchPtrs[:k]
+	a.epRew = growFloats(a.epRew, k)
+	a.vecObs = growFloats(a.vecObs, k*d)
+	if cap(a.slotViews) < k {
+		a.slotViews = make([]slotContinuousEnv, k)
+	}
+	a.slotViews = a.slotViews[:k]
+}
+
+// CollectVec rolls the policy through every slot of venv using the
+// vectorized engine and returns one batch per slot; slot i's batch is
+// bit-identical to Collect over the equivalent scalar environment with
+// rand.New(rand.NewSource(seeds[i])). Batches alias pooled per-slot
+// workspaces and stay valid only until the next collect.
+func (a *GaussianAgent) CollectVec(venv ContinuousVecEnv, perSlot int, seeds []int64) []*Batch {
+	k := venv.Width()
+	if len(seeds) != k {
+		panic("rl: CollectVec seed count does not match env width")
+	}
+	a.seedBuf = growInt64(a.seedBuf, k)
+	copy(a.seedBuf, seeds)
+	a.collectVec(venv, perSlot)
+	out := make([]*Batch, k)
+	copy(out, a.batchPtrs[:k])
+	return out
+}
+
+func (a *GaussianAgent) collectVec(venv ContinuousVecEnv, perSlot int) {
+	k := venv.Width()
+	d := venv.ObsSize()
+	a.ensureRngs(k)
+	a.ensureCollectPool(k, perSlot)
+	a.growIterState(k, d)
+	groups := a.rolloutWorkers()
+	if groups > k {
+		groups = k
+	}
+	a.ensureVecGroups(groups)
+	par.ForN(groups, groups, func(gi int) {
+		lo, hi := groupBounds(gi, groups, k)
+		a.collectVecGroup(a.vecGroups[gi], venv, lo, hi, perSlot)
+	})
+}
+
+// collectVecGroup runs the lockstep collect loop over slots [lo,hi),
+// mirroring the scalar Collect state machine per slot (see
+// DiscreteAgent.collectVecGroup for the engine shape).
+func (a *GaussianAgent) collectVecGroup(g *gaussianVecGroup, venv ContinuousVecEnv, lo, hi, perSlot int) {
+	d := venv.ObsSize()
+	ad := venv.ActionDim()
+	if g.ps == nil {
+		g.ps = a.policy.NewScratch(hi - lo)
+	}
+	// logStd is frozen during collection, so one snapshot serves every
+	// step — the same values the scalar loop recomputes per step.
+	a.stdInto(g.std)
+	g.slots = g.slots[:0]
+	for i := lo; i < hi; i++ {
+		st := a.collectPool[i]
+		st.ar.reset()
+		st.obsMat = st.obsMat[:0]
+		st.batch = Batch{Transitions: st.trs[:0]}
+		a.batchPtrs[i] = &st.batch
+		a.epRew[i] = 0
+		venv.ResetSlot(i, a.rngPool[i], a.vecObs[i*d:(i+1)*d])
+		g.slots = append(g.slots, i)
+	}
+	for len(g.slots) > 0 {
+		m := len(g.slots)
+		g.x = growFloats(g.x, m*d)
+		for r, i := range g.slots {
+			copy(g.x[r*d:(r+1)*d], a.vecObs[i*d:(i+1)*d])
+		}
+		means := a.policy.ForwardBatch(g.ps, g.x, m)
+		w := 0
+		for r, i := range g.slots {
+			st := a.collectPool[i]
+			b := &st.batch
+			row := a.vecObs[i*d : (i+1)*d]
+			rng := a.rngPool[i]
+			mean := means[r*ad : (r+1)*ad]
+			action := st.ar.clone(mean)
+			for j := range action {
+				action[j] = mean[j] + g.std[j]*rng.NormFloat64()
+			}
+			logp := a.logProb(mean, g.std, action)
+			st.obsMat = append(st.obsMat, row...)
+			tr := Transition{
+				Obs: st.ar.clone(row), ActionC: action, LogProb: logp,
+			}
+			tr.Reward, tr.Done = venv.StepSlot(i, action, row)
+			a.epRew[i] += tr.Reward
+			alive := true
+			if !tr.Done && len(b.Transitions)+1 >= perSlot && b.Episodes > 0 {
+				tr.Truncate = true
+				tr.LastVal = a.value.ForwardBatch(g.vs1, row, 1)[0]
+				b.Transitions = append(b.Transitions, tr)
+				alive = false
+			} else {
+				b.Transitions = append(b.Transitions, tr)
+				if tr.Done {
+					b.Episodes++
+					b.TotalReward += a.epRew[i]
+					a.epRew[i] = 0
+					if len(b.Transitions) >= perSlot {
+						alive = false
+					} else {
+						venv.ResetSlot(i, a.rngPool[i], row)
+					}
+				}
+			}
+			if alive {
+				g.slots[w] = i
+				w++
+			} else {
+				a.fillValuesWith(b, st.obsMat, st.vsN)
+				st.trs = b.Transitions[:0]
+			}
+		}
+		g.slots = g.slots[:w]
+	}
+}
+
+// collectSlotsScalar is the guarded/fault-injected fallback: the scalar
+// per-slot loop of TrainIteration over slot views of venv, with identical
+// fault-stream keying and containment semantics.
+func (a *GaussianAgent) collectSlotsScalar(venv ContinuousVecEnv, perSlot int, wrapFaults, contain bool) {
+	k := venv.Width()
+	d := venv.ObsSize()
+	a.ensureRngs(k)
+	a.growIterState(k, d)
+	for i := 0; i < k; i++ {
+		a.slotViews[i] = slotContinuousEnv{v: venv, i: i, row: a.vecObs[i*d : (i+1)*d]}
+	}
+	par.For(k, func(i int) {
+		var env ContinuousEnv = &a.slotViews[i]
+		if wrapFaults {
+			env = wrapFaultyContinuous(env, a.Faults, a.seedBuf[i])
+		}
+		if contain {
+			defer func() {
+				if r := recover(); r != nil {
+					a.batchPtrs[i] = nil
+					a.Guard.RecordRolloutFault(r)
+					a.Metrics.Counter("guard/contained_rollouts").Inc()
+				}
+			}()
+		}
+		a.batchPtrs[i] = a.Collect(env, perSlot, a.rngPool[i])
+	})
+}
+
+// TrainIterationVec is TrainIteration over a vectorized environment; see
+// DiscreteAgent.TrainIterationVec for the determinism contract and the
+// guarded/faulted fallback behaviour. The PPO update's shuffles draw from
+// rng after the per-slot seeds, exactly as in TrainIteration.
+func (a *GaussianAgent) TrainIterationVec(venv ContinuousVecEnv, totalSteps int, rng *rand.Rand) (meanEpReward float64, stats UpdateStats) {
+	k := venv.Width()
+	if k <= 0 {
+		panic("rl: TrainIterationVec over a zero-width env")
+	}
+	perEnv := totalSteps / k
+	if perEnv < 1 {
+		perEnv = 1
+	}
+	a.seedBuf = growInt64(a.seedBuf, k)
+	for i := range a.seedBuf {
+		a.seedBuf[i] = rng.Int63()
+	}
+	wrapFaults := a.Faults.SiteEnabled(faults.EnvStepPanic) || a.Faults.SiteEnabled(faults.TraceCorrupt)
+	contain := a.Guard.Enabled()
+	rt := a.Metrics.StartTimer("rl/rollout_seconds")
+	rsp := a.Recorder.Start("rl/rollout")
+	if wrapFaults || contain {
+		a.collectSlotsScalar(venv, perEnv, wrapFaults, contain)
+	} else {
+		a.collectVec(venv, perEnv)
+	}
+	rt.Stop()
+	if a.Recorder.Enabled() {
+		rsp.EndArgs(
+			obs.Arg{K: "envs", V: float64(k)},
+			obs.Arg{K: "steps_per_env", V: float64(perEnv)})
+	}
+	a.Guard.ObserveRollouts()
+	return a.mergeAndUpdate(a.batchPtrs[:k], rng)
+}
+
+// mergeAndUpdate merges the per-slot batches in index order (skipping
+// contained nil entries) into the pooled merged batch and runs one PPO
+// Update over it.
+func (a *GaussianAgent) mergeAndUpdate(batches []*Batch, rng *rand.Rand) (float64, UpdateStats) {
+	merged := &a.merged
+	merged.Transitions = merged.Transitions[:0]
+	merged.Episodes = 0
+	merged.TotalReward = 0
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		merged.Transitions = append(merged.Transitions, b.Transitions...)
+		merged.Episodes += b.Episodes
+		merged.TotalReward += b.TotalReward
+	}
+	ut := a.Metrics.StartTimer("rl/update_seconds")
+	usp := a.Recorder.Start("rl/update")
+	stats := a.Update(merged, rng)
+	ut.Stop()
+	if a.Recorder.Enabled() {
+		usp.EndArgs(
+			obs.Arg{K: "transitions", V: float64(len(merged.Transitions))},
+			obs.Arg{K: "policy_loss", V: stats.PolicyLoss},
+			obs.Arg{K: "kl", V: stats.KL})
+	}
+	return merged.MeanEpisodeReward(), stats
+}

@@ -1,0 +1,178 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DiscreteVecEnv is a fixed-width batch of independent discrete-action
+// environments addressed by slot index. It is the environment side of the
+// vectorized rollout engine: one goroutine steps many slots in lockstep and
+// feeds their stacked observations through one batched policy forward per
+// tick instead of one single-row forward per environment step.
+//
+// The contract mirrors DiscreteEnv per slot:
+//
+//   - ResetSlot starts a new episode in slot i, drawing all of the episode's
+//     randomness from rng, and writes the initial observation into obs
+//     (len == ObsSize).
+//   - StepSlot applies an action to slot i and overwrites obs with the next
+//     observation, returning the transition reward and terminal flag.
+//
+// Slots must be independent: the engine may step different slots from
+// different goroutines (never the same slot concurrently), so per-slot state
+// must not be shared mutably across slots. A slot's dynamics given its rng
+// draws must be identical to the scalar environment it vectorizes — the
+// equivalence tests in the abr, cc, and lb packages pin this bit-exactly.
+type DiscreteVecEnv interface {
+	ObsSize() int
+	NumActions() int
+	// Width returns the number of slots.
+	Width() int
+	ResetSlot(i int, rng *rand.Rand, obs []float64)
+	StepSlot(i int, action int, obs []float64) (reward float64, done bool)
+}
+
+// ContinuousVecEnv is the continuous-action twin of DiscreteVecEnv.
+type ContinuousVecEnv interface {
+	ObsSize() int
+	ActionDim() int
+	Width() int
+	ResetSlot(i int, rng *rand.Rand, obs []float64)
+	StepSlot(i int, action []float64, obs []float64) (reward float64, done bool)
+}
+
+// VecDiscrete wraps independent scalar environments as a DiscreteVecEnv, one
+// slot per environment. It is the generic adapter for environments without a
+// native struct-of-arrays implementation: stepping stays scalar (including
+// the wrapped env's per-step allocations), but action sampling still batches
+// through the vectorized engine.
+func VecDiscrete(envs ...DiscreteEnv) DiscreteVecEnv {
+	if len(envs) == 0 {
+		panic("rl: VecDiscrete of zero environments")
+	}
+	for _, e := range envs {
+		if e.ObsSize() != envs[0].ObsSize() || e.NumActions() != envs[0].NumActions() {
+			panic("rl: VecDiscrete over mismatched environments")
+		}
+	}
+	return &vecDiscrete{envs: envs}
+}
+
+type vecDiscrete struct {
+	envs []DiscreteEnv
+}
+
+func (v *vecDiscrete) ObsSize() int    { return v.envs[0].ObsSize() }
+func (v *vecDiscrete) NumActions() int { return v.envs[0].NumActions() }
+func (v *vecDiscrete) Width() int      { return len(v.envs) }
+
+func (v *vecDiscrete) ResetSlot(i int, rng *rand.Rand, obs []float64) {
+	copyObs(obs, v.envs[i].Reset(rng), v.ObsSize())
+}
+
+func (v *vecDiscrete) StepSlot(i int, action int, obs []float64) (float64, bool) {
+	next, reward, done := v.envs[i].Step(action)
+	copyObs(obs, next, v.ObsSize())
+	return reward, done
+}
+
+// VecContinuous wraps independent scalar environments as a ContinuousVecEnv.
+func VecContinuous(envs ...ContinuousEnv) ContinuousVecEnv {
+	if len(envs) == 0 {
+		panic("rl: VecContinuous of zero environments")
+	}
+	for _, e := range envs {
+		if e.ObsSize() != envs[0].ObsSize() || e.ActionDim() != envs[0].ActionDim() {
+			panic("rl: VecContinuous over mismatched environments")
+		}
+	}
+	return &vecContinuous{envs: envs}
+}
+
+type vecContinuous struct {
+	envs []ContinuousEnv
+}
+
+func (v *vecContinuous) ObsSize() int   { return v.envs[0].ObsSize() }
+func (v *vecContinuous) ActionDim() int { return v.envs[0].ActionDim() }
+func (v *vecContinuous) Width() int     { return len(v.envs) }
+
+func (v *vecContinuous) ResetSlot(i int, rng *rand.Rand, obs []float64) {
+	copyObs(obs, v.envs[i].Reset(rng), v.ObsSize())
+}
+
+func (v *vecContinuous) StepSlot(i int, action []float64, obs []float64) (float64, bool) {
+	next, reward, done := v.envs[i].Step(action)
+	copyObs(obs, next, v.ObsSize())
+	return reward, done
+}
+
+func copyObs(dst, src []float64, d int) {
+	if len(src) != d {
+		panic(fmt.Sprintf("rl: env returned obs of len %d, want %d", len(src), d))
+	}
+	copy(dst, src)
+}
+
+// slotDiscreteEnv adapts one slot of a DiscreteVecEnv back into a scalar
+// DiscreteEnv over a caller-owned observation row. TrainIterationVec uses it
+// on the guarded/fault-injected fallback path, where per-env panic
+// containment and fault-stream wrapping need the scalar collect loop. The
+// returned observation slice is reused between calls; the scalar collector
+// clones observations into its arena immediately, so the aliasing is safe.
+type slotDiscreteEnv struct {
+	v   DiscreteVecEnv
+	i   int
+	row []float64
+}
+
+func (s *slotDiscreteEnv) ObsSize() int    { return s.v.ObsSize() }
+func (s *slotDiscreteEnv) NumActions() int { return s.v.NumActions() }
+
+func (s *slotDiscreteEnv) Reset(rng *rand.Rand) []float64 {
+	s.v.ResetSlot(s.i, rng, s.row)
+	return s.row
+}
+
+func (s *slotDiscreteEnv) Step(action int) ([]float64, float64, bool) {
+	reward, done := s.v.StepSlot(s.i, action, s.row)
+	return s.row, reward, done
+}
+
+// slotContinuousEnv is the ContinuousVecEnv slot view.
+type slotContinuousEnv struct {
+	v   ContinuousVecEnv
+	i   int
+	row []float64
+}
+
+func (s *slotContinuousEnv) ObsSize() int   { return s.v.ObsSize() }
+func (s *slotContinuousEnv) ActionDim() int { return s.v.ActionDim() }
+
+func (s *slotContinuousEnv) Reset(rng *rand.Rand) []float64 {
+	s.v.ResetSlot(s.i, rng, s.row)
+	return s.row
+}
+
+func (s *slotContinuousEnv) Step(action []float64) ([]float64, float64, bool) {
+	reward, done := s.v.StepSlot(s.i, action, s.row)
+	return s.row, reward, done
+}
+
+// groupBounds splits k slots into contiguous per-worker groups. The grouping
+// affects only which goroutine computes which slots — per-slot rng streams
+// and the per-row bit-exactness of the batched forward make the results
+// identical for every group count.
+func groupBounds(gi, groups, k int) (lo, hi int) {
+	return gi * k / groups, (gi + 1) * k / groups
+}
+
+// growInt64 returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}

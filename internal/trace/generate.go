@@ -35,23 +35,37 @@ func (c ABRGenConfig) Validate() error {
 
 // GenerateABR produces a synthetic ABR bandwidth trace per §A.2.
 func GenerateABR(cfg ABRGenConfig, rng *rand.Rand) (*Trace, error) {
+	return GenerateABRInto(nil, cfg, rng)
+}
+
+// GenerateABRInto is GenerateABR writing into prev's backing arrays when prev
+// is non-nil, for allocation-free per-episode regeneration in the vectorized
+// training loop. The rng consumption and the generated series are identical
+// to GenerateABR; only the Name is kept from prev when reusing (it is
+// cosmetic, and regenerating it would cost a Sprintf per episode).
+func GenerateABRInto(prev *Trace, cfg ABRGenConfig, rng *rand.Rand) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Trace{Name: fmt.Sprintf("abr-synth-%.1f-%.1fMbps", cfg.MinBW, cfg.MaxBW)}
+	t := prev
+	if t == nil {
+		t = &Trace{Name: fmt.Sprintf("abr-synth-%.1f-%.1fMbps", cfg.MinBW, cfg.MaxBW)}
+	}
+	t.Timestamps = t.Timestamps[:0]
+	t.Bandwidth = t.Bandwidth[:0]
 	bw := uniform(rng, cfg.MinBW, cfg.MaxBW)
 	nextChange := cfg.ChangeInterval + uniform(rng, 1, 3)
 	ts := 0.0
-	prev := -1.0
+	prevTS := -1.0
 	for ts < cfg.Duration {
 		// One-second steps with uniform [-0.5, 0.5] jitter, kept increasing.
 		jittered := ts + uniform(rng, -0.5, 0.5)
-		if jittered <= prev {
-			jittered = prev + 1e-3
+		if jittered <= prevTS {
+			jittered = prevTS + 1e-3
 		}
 		t.Timestamps = append(t.Timestamps, jittered)
 		t.Bandwidth = append(t.Bandwidth, bw)
-		prev = jittered
+		prevTS = jittered
 		ts++
 		if ts >= nextChange {
 			bw = uniform(rng, cfg.MinBW, cfg.MaxBW)
@@ -95,10 +109,21 @@ const ccStep = 0.1
 
 // GenerateCC produces a synthetic CC bandwidth trace per §A.2.
 func GenerateCC(cfg CCGenConfig, rng *rand.Rand) (*Trace, error) {
+	return GenerateCCInto(nil, cfg, rng)
+}
+
+// GenerateCCInto is GenerateCC writing into prev's backing arrays when prev
+// is non-nil; see GenerateABRInto for the reuse contract.
+func GenerateCCInto(prev *Trace, cfg CCGenConfig, rng *rand.Rand) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Trace{Name: fmt.Sprintf("cc-synth-%.1fMbps", cfg.MaxBW)}
+	t := prev
+	if t == nil {
+		t = &Trace{Name: fmt.Sprintf("cc-synth-%.1fMbps", cfg.MaxBW)}
+	}
+	t.Timestamps = t.Timestamps[:0]
+	t.Bandwidth = t.Bandwidth[:0]
 	bw := uniform(rng, 1, cfg.MaxBW)
 	nextChange := cfg.ChangeInterval
 	if nextChange <= 0 {

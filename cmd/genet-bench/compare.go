@@ -19,6 +19,17 @@ const compareTolerance = 0.25
 // allocations on tiny counts.
 const allocSlack = 0.10
 
+// minRepSpread floors the per-rep spread term of the ns/op gate whenever a
+// baseline actually recorded repetitions. On a quiet 1-CPU host the three
+// interleaved reps can come out byte-identical, making the observed spread 0
+// — but rep spread measures within-run jitter, not the run-to-run noise the
+// gate exists to absorb, and a zero spread would collapse the widened
+// threshold to the bare tolerance and let the gate flap between reruns of
+// the very same binary. The floor only applies when reps exist: a legacy
+// baseline without rep samples keeps the bare-tolerance behavior it was
+// recorded under.
+const minRepSpread = 0.15
+
 // regression is one gate failure found by compareBaselines.
 type regression struct {
 	Name   string
@@ -94,6 +105,9 @@ func compareBaselines(oldB, newB *microBaseline, tol float64, verbose io.Writer)
 			spread := relSpread(o.NsPerOpReps)
 			if s := relSpread(n.NsPerOpReps); s > spread {
 				spread = s
+			}
+			if (len(o.NsPerOpReps) >= 2 || len(n.NsPerOpReps) >= 2) && spread < minRepSpread {
+				spread = minRepSpread
 			}
 			threshold := tol
 			if 2*spread > threshold {

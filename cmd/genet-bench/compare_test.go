@@ -74,6 +74,32 @@ func TestCompareNoiseWidensThreshold(t *testing.T) {
 	}
 }
 
+func TestCompareIdenticalRepsFloored(t *testing.T) {
+	// All reps byte-identical: the observed spread is 0, but the floor keeps
+	// the threshold at max(tol, 2*minRepSpread) = 30%, so a 28% rerun wobble
+	// on a quiet 1-CPU host cannot flap the gate...
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000, NsPerOpReps: []float64{1000, 1000, 1000}})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1280, NsPerOpReps: []float64{1280, 1280, 1280}})
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("spread floor should absorb this: %v", regs)
+	}
+	// ...while a real slowdown past the floored threshold still fails.
+	newB.Results[0].NsPerOp = 1400
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want ns/op regression past floored gate, got %v", regs)
+	}
+}
+
+func TestCompareNoRepsKeepsBareTolerance(t *testing.T) {
+	// Legacy baselines without rep samples keep the unfloored behavior:
+	// threshold is the bare tolerance, so 28% over fails a 25% gate.
+	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000})
+	newB := baseWith(microResult{Name: "A", NsPerOp: 1280})
+	if regs := compareBaselines(oldB, newB, 0.25, nil); len(regs) != 1 {
+		t.Fatalf("legacy rep-less baseline must keep bare tol, got %v", regs)
+	}
+}
+
 func TestCompareNewBenchmarkSkipped(t *testing.T) {
 	oldB := baseWith(microResult{Name: "A", NsPerOp: 1000})
 	newB := baseWith(

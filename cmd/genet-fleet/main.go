@@ -1,0 +1,234 @@
+// Command genet-fleet runs a declared sweep — env x curriculum mode x seed x
+// optional fault profile — across all cores, one run directory per cell, and
+// aggregates the per-seed results into a paper-style table with bootstrap
+// confidence intervals.
+//
+// The sweep is a pure function of its declaration: every cell trains and
+// evaluates from seeds derived only from its identity, so a sweep that is
+// killed (^C, OOM, pre-empted) and re-invoked with the same flags resumes —
+// completed cells are loaded from their run directories, interrupted
+// curriculum cells continue from their checkpoints — and produces a final
+// table byte-identical to an uninterrupted run.
+//
+// With -golden, the aggregate is gated against a committed summary.json:
+// any cell whose reward falls below its golden value by more than the golden
+// group's CI half-width is flagged REGRESSION and the exit status is 1.
+//
+// Exit codes: 0 success, 1 error or regression, 2 usage, 3 interrupted
+// (resumable: re-invoke with the same flags to continue).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"github.com/genet-go/genet/internal/fleet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, interruptFlag()))
+}
+
+// run is the whole CLI behind a testable seam: parse, load/merge the
+// declaration, execute or resume the sweep, aggregate, and optionally gate.
+func run(args []string, stdout, stderr io.Writer, stop func() bool) int {
+	fs := flag.NewFlagSet("genet-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configPath = fs.String("config", "", "sweep declaration JSON (flags below override its fields)")
+		outDir     = fs.String("out", "", "sweep output directory (required; cells go under <out>/cells)")
+		envs       = fs.String("envs", "", "comma-separated envs: abr,cc,lb")
+		modes      = fs.String("modes", "", "comma-separated modes: genet,cl2,cl3,rl1,rl2,rl3")
+		seeds      = fs.String("seeds", "", "comma-separated int64 seeds")
+		faultsFlag = fs.String("faults", "", "comma-free fault profiles separated by ';' (e.g. \"grad-nan:2;env-step:3\"); empty profile = clean")
+
+		rounds   = fs.Int("rounds", 0, "curriculum rounds per cell (0 = default)")
+		iters    = fs.Int("iters", 0, "training iterations per round (0 = default)")
+		boSteps  = fs.Int("bo-steps", 0, "BO search budget per round (0 = default)")
+		envsEval = fs.Int("envs-per-eval", 0, "environments per gap estimate (0 = default)")
+		envsIter = fs.Int("envs-per-iter", 0, "parallel environments per training iteration (0 = harness default)")
+		stepsIt  = fs.Int("steps-per-iter", 0, "environment steps per training iteration (0 = harness default)")
+		warmup   = fs.Int("warmup", 0, "warm-up iterations (0 = default 10, negative = none)")
+		evalEnvs = fs.Int("eval-envs", 0, "paired evaluation environments per cell (0 = default)")
+
+		resamples  = fs.Int("resamples", 0, "bootstrap resamples for the aggregate CIs (0 = default)")
+		confidence = fs.Float64("confidence", 0, "CI confidence level in (0,1) (0 = default 0.95)")
+
+		workers   = fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		golden    = fs.String("golden", "", "gate the aggregate against this committed summary.json")
+		margin    = fs.Float64("margin", 0, "absolute floor under every cell's regression allowance (0 = default)")
+		stopAfter = fs.Int("stop-after", 0, "stop after N executed cells, leaving a resumable sweep (testing/CI hook)")
+		example   = fs.Bool("example", false, "print an example sweep declaration and exit")
+		verbose   = fs.Bool("v", false, "per-cell progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *example {
+		if err := writeExample(stdout); err != nil {
+			fmt.Fprintln(stderr, "genet-fleet:", err)
+			return 1
+		}
+		return 0
+	}
+	if *outDir == "" {
+		fmt.Fprintln(stderr, "genet-fleet: -out is required")
+		fs.Usage()
+		return 2
+	}
+
+	cfg := &fleet.Config{}
+	if *configPath != "" {
+		loaded, err := fleet.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "genet-fleet:", err)
+			return 1
+		}
+		cfg = loaded
+	}
+	if *envs != "" {
+		cfg.Envs = splitList(*envs, ",")
+	}
+	if *modes != "" {
+		cfg.Modes = splitList(*modes, ",")
+	}
+	if *seeds != "" {
+		var err error
+		cfg.Seeds, err = parseSeeds(*seeds)
+		if err != nil {
+			fmt.Fprintln(stderr, "genet-fleet:", err)
+			return 2
+		}
+	}
+	if *faultsFlag != "" {
+		cfg.Faults = splitList(*faultsFlag, ";")
+	}
+	setIf(&cfg.Budget.Rounds, *rounds)
+	setIf(&cfg.Budget.ItersPerRound, *iters)
+	setIf(&cfg.Budget.BOSteps, *boSteps)
+	setIf(&cfg.Budget.EnvsPerEval, *envsEval)
+	setIf(&cfg.Budget.EnvsPerIter, *envsIter)
+	setIf(&cfg.Budget.StepsPerIter, *stepsIt)
+	if *warmup != 0 {
+		cfg.Budget.Warmup = *warmup
+	}
+	setIf(&cfg.EvalEnvs, *evalEnvs)
+	setIf(&cfg.Resamples, *resamples)
+	if *confidence != 0 {
+		cfg.Confidence = *confidence
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "genet-fleet:", err)
+		return 2
+	}
+
+	opts := fleet.Options{
+		OutDir:         *outDir,
+		Workers:        *workers,
+		Stop:           stop,
+		StopAfterCells: *stopAfter,
+	}
+	if *verbose {
+		opts.Verbose = stderr
+	}
+	fmt.Fprintf(stderr, "genet-fleet: %d cells -> %s\n", len(cfg.Cells()), *outDir)
+	res, err := fleet.Run(cfg, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "genet-fleet:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "genet-fleet: executed %d, loaded %d, remaining %d\n",
+		res.Executed, res.Skipped, res.Remaining)
+	if res.Interrupted() {
+		fmt.Fprintln(stderr, "genet-fleet: sweep interrupted; re-invoke with the same flags to resume")
+		return 3
+	}
+
+	if err := res.Summary.WriteFiles(*outDir); err != nil {
+		fmt.Fprintln(stderr, "genet-fleet:", err)
+		return 1
+	}
+	if _, err := io.WriteString(stdout, res.Summary.TableString()); err != nil {
+		fmt.Fprintln(stderr, "genet-fleet:", err)
+		return 1
+	}
+
+	if *golden != "" {
+		gold, err := fleet.ReadSummary(*golden)
+		if err != nil {
+			fmt.Fprintln(stderr, "genet-fleet: golden:", err)
+			return 1
+		}
+		vs := fleet.Gate(gold, res.Summary, fleet.GateOptions{MinMargin: *margin})
+		fmt.Fprintln(stdout)
+		fleet.WriteVerdicts(stdout, vs)
+		if fleet.Failed(vs) {
+			fmt.Fprintf(stderr, "genet-fleet: regression gate FAILED against %s\n", *golden)
+			return 1
+		}
+		fmt.Fprintf(stderr, "genet-fleet: regression gate passed against %s\n", *golden)
+	}
+	return 0
+}
+
+// writeExample prints a ready-to-edit sweep declaration.
+func writeExample(w io.Writer) error {
+	data, err := json.MarshalIndent(fleet.ExampleConfig(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+func splitList(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s, ",") {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// setIf assigns v to dst when the flag was actually set (non-zero).
+func setIf(dst *int, v int) {
+	if v != 0 {
+		*dst = v
+	}
+}
+
+// interruptFlag turns ^C into a graceful stop: no new cell starts, running
+// curriculum cells checkpoint out at their next safe point, and the process
+// exits 3 (resumable). A second ^C aborts immediately.
+func interruptFlag() func() bool {
+	var requested atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\ngenet-fleet: interrupt: finishing safe points and stopping (^C again to abort)")
+		requested.Store(true)
+		<-sigc
+		os.Exit(130)
+	}()
+	return requested.Load
+}

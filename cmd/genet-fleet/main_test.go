@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/genet-go/genet/internal/fleet"
+)
+
+func noStop() bool { return false }
+
+// tinyArgs is the smallest sweep the CLI tests run: 1 env x 2 modes x 2 seeds.
+func tinyArgs(out string, extra ...string) []string {
+	args := []string{
+		"-out", out,
+		"-envs", "lb", "-modes", "genet,rl3", "-seeds", "1,2",
+		"-rounds", "1", "-iters", "1", "-bo-steps", "1", "-envs-per-eval", "1",
+		"-envs-per-iter", "2", "-steps-per-iter", "40", "-warmup", "1",
+		"-eval-envs", "2", "-resamples", "200",
+	}
+	return append(args, extra...)
+}
+
+func TestRunSweepAndGate(t *testing.T) {
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run(tinyArgs(out), &stdout, &stderr, noStop); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	table := stdout.String()
+	if !strings.Contains(table, "== fleet: 1 env(s) x 2 mode(s) x 2 seed(s)") {
+		t.Fatalf("missing table header:\n%s", table)
+	}
+	for _, f := range []string{fleet.SummaryFile, fleet.TableFile} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	// Self-gate: the sweep's own summary as golden must pass with exit 0.
+	golden := filepath.Join(out, fleet.SummaryFile)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(tinyArgs(out, "-golden", golden), &stdout, &stderr, noStop); code != 0 {
+		t.Fatalf("self-gate exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regression gate passed") {
+		t.Fatalf("no gate-pass line:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "REGRESSION") {
+		t.Fatalf("self-gate reported a regression:\n%s", stdout.String())
+	}
+}
+
+// TestInjectedRegressionFailsGate perturbs one cell of the committed golden
+// and asserts genet-fleet flags exactly that cell and exits non-zero.
+func TestInjectedRegressionFailsGate(t *testing.T) {
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run(tinyArgs(out), &stdout, &stderr, noStop); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+
+	// Perturb: raise one golden cell's reward so the (unchanged) current
+	// sweep appears to have regressed on that cell only.
+	sum, err := fleet.ReadSummary(filepath.Join(out, fleet.SummaryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sum.Cells[1].ID
+	sum.Cells[1].EvalReward += 10
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join(t.TempDir(), "golden.json")
+	if err := os.WriteFile(golden, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code := run(tinyArgs(out, "-golden", golden), &stdout, &stderr, noStop)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (regression); stderr:\n%s", code, stderr.String())
+	}
+	verdicts := stdout.String()
+	if !strings.Contains(verdicts, "REGRESSION "+victim) {
+		t.Fatalf("victim cell %s not flagged:\n%s", victim, verdicts)
+	}
+	if strings.Count(verdicts, "REGRESSION") != 1 {
+		t.Fatalf("want exactly one REGRESSION line:\n%s", verdicts)
+	}
+	if !strings.Contains(stderr.String(), "gate FAILED") {
+		t.Fatalf("no gate-failure line:\n%s", stderr.String())
+	}
+}
+
+// TestStopAfterThenResume drives the CLI through the kill/resume cycle the
+// CI smoke job uses: -stop-after leaves a resumable sweep and exit 3; the
+// same invocation without it finishes the remainder and exits 0.
+func TestStopAfterThenResume(t *testing.T) {
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run(tinyArgs(out, "-stop-after", "1", "-workers", "1"), &stdout, &stderr, noStop)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (interrupted); stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(out, fleet.SummaryFile)); !os.IsNotExist(err) {
+		t.Fatalf("interrupted sweep must not write %s (err=%v)", fleet.SummaryFile, err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(tinyArgs(out), &stdout, &stderr, noStop); code != 0 {
+		t.Fatalf("resume exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "loaded 1") {
+		t.Fatalf("resume did not load the completed cell:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(out, fleet.TableFile)); err != nil {
+		t.Fatalf("resumed sweep wrote no table: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-envs", "lb"}, &stdout, &stderr, noStop); code != 2 {
+		t.Fatalf("missing -out: exit %d, want 2", code)
+	}
+	if code := run([]string{"-out", t.TempDir(), "-envs", "warp", "-modes", "genet", "-seeds", "1"}, &stdout, &stderr, noStop); code != 2 {
+		t.Fatalf("bad env: exit %d, want 2", code)
+	}
+	if code := run([]string{"-out", t.TempDir(), "-envs", "lb", "-modes", "genet", "-seeds", "x"}, &stdout, &stderr, noStop); code != 2 {
+		t.Fatalf("bad seed: exit %d, want 2", code)
+	}
+}
+
+func TestExampleConfigIsRunnable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-example"}, &stdout, &stderr, noStop); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fleet.LoadConfig(path)
+	if err != nil {
+		t.Fatalf("printed example does not load: %v", err)
+	}
+	if len(cfg.Cells()) == 0 {
+		t.Fatal("example expands to zero cells")
+	}
+}

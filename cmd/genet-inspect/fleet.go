@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/genet-go/genet/internal/fleet"
+)
+
+// fleetSummarize prints a fleet summary.json: the declaration, the rendered
+// aggregate table, and guard activity, so `genet-inspect -fleet <out>/summary.json`
+// answers "what did this sweep conclude" without re-reading twelve rundirs.
+func fleetSummarize(w io.Writer, path string) error {
+	s, err := fleet.ReadSummary(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fleet summary %s\n", path)
+	fmt.Fprintf(w, "  envs=%v modes=%v seeds=%v", s.Config.Envs, s.Config.Modes, s.Config.Seeds)
+	if len(s.Config.Faults) > 1 || (len(s.Config.Faults) == 1 && s.Config.Faults[0] != "") {
+		fmt.Fprintf(w, " faults=%v", s.Config.Faults)
+	}
+	fmt.Fprintf(w, "\n  budget: rounds=%d iters=%d bo-steps=%d envs-per-eval=%d eval-envs=%d\n",
+		s.Config.Budget.Rounds, s.Config.Budget.ItersPerRound, s.Config.Budget.BOSteps,
+		s.Config.Budget.EnvsPerEval, s.Config.EvalEnvs)
+	fmt.Fprintf(w, "  aggregate: %d resamples, %.0f%% CI\n\n", s.Config.Resamples, s.Config.Confidence*100)
+	if err := s.WriteTable(w); err != nil {
+		return err
+	}
+	var quarantined, recoveries, resumed int
+	for _, c := range s.Cells {
+		quarantined += c.Quarantined
+		recoveries += c.Recoveries
+		if c.Resumed {
+			resumed++
+		}
+	}
+	if quarantined > 0 || recoveries > 0 || resumed > 0 {
+		fmt.Fprintf(w, "\nguard/resume activity: quarantined=%d recoveries=%d resumed-cells=%d\n",
+			quarantined, recoveries, resumed)
+	}
+	return nil
+}
+
+// errGateFailed distinguishes "the summaries differ beyond their margins"
+// from load errors, so main can exit non-zero through the usual path while
+// still printing the full verdict list.
+var errGateFailed = fmt.Errorf("fleet gate failed")
+
+// fleetDiff gates the second summary against the first (golden-first, same
+// argument order as the fleet CI job) and prints one verdict per cell.
+func fleetDiff(w io.Writer, goldenPath, currentPath string) error {
+	golden, err := fleet.ReadSummary(goldenPath)
+	if err != nil {
+		return err
+	}
+	current, err := fleet.ReadSummary(currentPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fleet gate: %s (golden) vs %s\n", goldenPath, currentPath)
+	vs := fleet.Gate(golden, current, fleet.GateOptions{})
+	fleet.WriteVerdicts(w, vs)
+	if fleet.Failed(vs) {
+		return errGateFailed
+	}
+	fmt.Fprintln(w, "fleet gate: ok")
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/genet-go/genet/internal/fleet"
+)
+
+// writeSummary builds a synthetic two-cell fleet summary on disk and returns
+// its path plus the in-memory form for perturbation.
+func writeSummary(t *testing.T, dir string, bump float64) string {
+	t.Helper()
+	cfg := &fleet.Config{Envs: []string{"lb"}, Modes: []string{"genet"}, Seeds: []int64{1, 2}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := cfg.Cells()
+	results := make([]fleet.CellResult, len(cells))
+	for i, c := range cells {
+		r := 1.0 + 0.1*float64(c.Seed) + bump
+		results[i] = fleet.CellResult{
+			ID: c.ID, Env: c.Env, Mode: c.Mode, Seed: c.Seed,
+			EvalReward: r, EvalBaseline: r + 0.3, Gap: 0.3,
+		}
+	}
+	sum := fleet.Aggregate(cfg, cells, results)
+	if err := sum.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, fleet.SummaryFile)
+}
+
+func TestFleetSummarize(t *testing.T) {
+	path := writeSummary(t, t.TempDir(), 0)
+	var buf bytes.Buffer
+	if err := fleetSummarize(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fleet summary", "envs=[lb]", "lb.genet.s1", "lb.genet.s2", "95% CI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summarize output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetDiffGate(t *testing.T) {
+	golden := writeSummary(t, t.TempDir(), 0)
+
+	// Identical current: gate passes.
+	var buf bytes.Buffer
+	if err := fleetDiff(&buf, golden, writeSummary(t, t.TempDir(), 0)); err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "fleet gate: ok") {
+		t.Fatalf("no ok line:\n%s", buf.String())
+	}
+
+	// Regressed current: gate fails with REGRESSION lines.
+	buf.Reset()
+	err := fleetDiff(&buf, golden, writeSummary(t, t.TempDir(), -1.0))
+	if err == nil {
+		t.Fatalf("regressed diff returned nil:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("no REGRESSION line:\n%s", buf.String())
+	}
+}

@@ -29,16 +29,22 @@ import (
 )
 
 func main() {
+	fleetMode := flag.Bool("fleet", false, "arguments are fleet summary.json files: summarize one, or gate the second against the first (golden)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: genet-inspect RUNDIR [RUNDIR2]")
+		fmt.Fprintln(os.Stderr, "       genet-inspect -fleet SUMMARY.json [GOLDEN-first gate: SUMMARY2.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	var err error
-	switch flag.NArg() {
-	case 1:
+	switch {
+	case *fleetMode && flag.NArg() == 1:
+		err = fleetSummarize(os.Stdout, flag.Arg(0))
+	case *fleetMode && flag.NArg() == 2:
+		err = fleetDiff(os.Stdout, flag.Arg(0), flag.Arg(1))
+	case flag.NArg() == 1:
 		err = summarize(os.Stdout, flag.Arg(0))
-	case 2:
+	case flag.NArg() == 2:
 		err = diff(os.Stdout, flag.Arg(0), flag.Arg(1))
 	default:
 		flag.Usage()

@@ -173,7 +173,7 @@ func main() {
 		GoVersion:         runtime.Version(),
 		CheckpointVersion: core.TrainerStateVersion,
 		StartedAt:         time.Now().UTC().Format(time.RFC3339),
-		Outcome:           "running",
+		Outcome:           obs.OutcomeRunning,
 	}
 	if *runDir != "" {
 		if err := obs.WriteManifest(*runDir, manifest); err != nil {
@@ -212,7 +212,7 @@ func main() {
 	}
 
 	start := time.Now()
-	outcome := "completed"
+	outcome := obs.OutcomeCompleted
 	switch strings.ToLower(*strategy) {
 	case "rl1", "rl2", "rl3":
 		if *ckPath != "" || *resume != "" {
@@ -298,7 +298,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quarantined %d promoted config(s): %s\n", n, rep.Distribution)
 		}
 		if rep.Interrupted {
-			outcome = "interrupted"
+			outcome = obs.OutcomeInterrupted
 			ckFile := *ckPath
 			if ckFile == "" {
 				ckFile = *resume

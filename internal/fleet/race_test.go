@@ -1,0 +1,30 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelCellsRace drives cell execution with more workers than cells
+// plus a concurrently-polled stop predicate and a shared verbose writer — the
+// full concurrent surface of Run. It exists to be run under -race (the CI
+// race list includes this package); the assertions are secondary.
+func TestParallelCellsRace(t *testing.T) {
+	cfg := testConfig([]string{"lb"}, []string{"genet", "rl3"}, []int64{1, 2})
+	var buf bytes.Buffer
+	res, err := Run(cfg, Options{
+		OutDir:  t.TempDir(),
+		Workers: 8,
+		Stop:    func() bool { return false },
+		Verbose: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted() || res.Executed != 4 {
+		t.Fatalf("executed=%d remaining=%d", res.Executed, res.Remaining)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("verbose writer saw no progress lines")
+	}
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+// TestResumeGolden is the kill/resume contract test from the issue: run a
+// 2x2x3 sweep, stop it after k cells, resume, and assert that (a) only the
+// incomplete cells execute on resume and (b) the final aggregate artifacts
+// are byte-identical to an uninterrupted run of the same declaration.
+func TestResumeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2x2x3 sweep")
+	}
+	cfg := testConfig([]string{"abr", "lb"}, []string{"genet", "rl3"}, []int64{1, 2, 3})
+	total := len(cfg.Cells()) // 12
+
+	// Reference: the same sweep, uninterrupted.
+	refDir := t.TempDir()
+	ref, err := Run(cfg, Options{OutDir: refDir, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Interrupted() || ref.Executed != total {
+		t.Fatalf("reference sweep: executed=%d remaining=%d", ref.Executed, ref.Remaining)
+	}
+	if err := ref.Summary.WriteFiles(refDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: stop after 3 executed cells. In-flight cells either
+	// complete (traditional) or checkpoint out at a safe point (curriculum),
+	// so Executed may exceed 3 — but some cells must remain.
+	out := t.TempDir()
+	first, err := Run(cfg, Options{OutDir: out, Workers: 2, StopAfterCells: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted() {
+		t.Fatalf("StopAfterCells=3 did not interrupt the sweep: executed=%d", first.Executed)
+	}
+	if first.Summary != nil {
+		t.Fatal("interrupted sweep must not produce a summary")
+	}
+	done := first.Executed
+	if done < 3 || done >= total {
+		t.Fatalf("executed %d of %d cells before stopping", done, total)
+	}
+
+	// Resume: exactly the incomplete cells execute; every previously
+	// completed cell is loaded, not re-trained.
+	second, err := Run(cfg, Options{OutDir: out, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Interrupted() {
+		t.Fatalf("resume left %d cells remaining", second.Remaining)
+	}
+	if second.Skipped != done {
+		t.Fatalf("resume skipped %d cells, want %d (the previously completed set)", second.Skipped, done)
+	}
+	if second.Executed != total-done {
+		t.Fatalf("resume executed %d cells, want %d", second.Executed, total-done)
+	}
+
+	// Byte-identical aggregates: summary.json and table.txt of the resumed
+	// sweep equal the uninterrupted reference exactly.
+	if err := second.Summary.WriteFiles(out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{SummaryFile, TableFile} {
+		want, err := os.ReadFile(filepath.Join(refDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(out, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("%s differs between uninterrupted and resumed sweeps:\n--- uninterrupted\n%s\n--- resumed\n%s", f, want, got)
+		}
+	}
+}
+
+// TestMidCellCheckpointResume pins the finer-grained half of resume: a
+// curriculum cell interrupted mid-training (checkpoint on disk, manifest not
+// completed) resumes from its checkpoint rather than restarting, and the
+// resumed result is numerically identical to an uninterrupted run.
+func TestMidCellCheckpointResume(t *testing.T) {
+	cfg := testConfig([]string{"lb"}, []string{"genet"}, []int64{7})
+	// Two rounds, so interrupting after round 0 leaves real training for the
+	// resumed run to do (safe points are post-warm-up and post-round).
+	cfg.Budget.Rounds = 2
+	cell := cfg.Cells()[0]
+
+	// Uninterrupted reference for the single cell.
+	refDir := t.TempDir()
+	ref, err := Run(cfg, Options{OutDir: refDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt the cell at its first safe point after a checkpoint exists.
+	out := t.TempDir()
+	ckPath := filepath.Join(out, CellsDir, cell.ID, obs.CheckpointFile)
+	stop := func() bool {
+		_, err := os.Stat(ckPath)
+		return err == nil
+	}
+	first, err := Run(cfg, Options{OutDir: out, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted() {
+		t.Fatal("stop at first checkpoint did not interrupt the cell")
+	}
+	man, err := obs.ReadManifest(filepath.Join(out, CellsDir, cell.ID))
+	if err != nil || man.Outcome != obs.OutcomeInterrupted {
+		t.Fatalf("interrupted cell manifest: %+v, %v", man, err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("interrupted cell left no checkpoint: %v", err)
+	}
+
+	// Resume and compare against the reference.
+	second, err := Run(cfg, Options{OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Interrupted() || second.Executed != 1 {
+		t.Fatalf("resume: executed=%d remaining=%d", second.Executed, second.Remaining)
+	}
+	got := second.Cells[0]
+	if !got.Resumed {
+		t.Fatal("resumed cell did not set Resumed (it restarted from scratch instead)")
+	}
+	want := ref.Cells[0]
+	got.Resumed = false // provenance; everything else must match bit-exactly
+	if got != want {
+		t.Fatalf("resumed result differs from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+	// And the aggregate table is identical too.
+	if ref.Summary.TableString() != second.Summary.TableString() {
+		t.Fatalf("tables differ:\n%s\nvs\n%s", ref.Summary.TableString(), second.Summary.TableString())
+	}
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Verdict statuses, in the satnet TrialResult idiom: every cell of a gated
+// sweep gets a machine-checkable pass/fail instead of an eyeballed number.
+const (
+	// VerdictPass: the cell's reward is within its noise margin of (or
+	// better than) the golden run.
+	VerdictPass = "pass"
+	// VerdictRegress: the cell's reward fell below the golden value by more
+	// than the margin.
+	VerdictRegress = "regress"
+	// VerdictNew: the cell has no golden counterpart (sweep grew); informational.
+	VerdictNew = "new"
+	// VerdictMissing: the golden has a cell the current sweep lacks (sweep
+	// shrank); fails the gate — silently dropping a cell must be loud.
+	VerdictMissing = "missing"
+)
+
+// Verdict is the per-cell comparison of a sweep against a golden summary.
+type Verdict struct {
+	Cell   string  `json:"cell"`
+	Status string  `json:"status"`
+	Old    float64 `json:"old_reward"`
+	New    float64 `json:"new_reward"`
+	// Margin is the allowance the comparison used: the golden group's
+	// bootstrap-CI half-width, floored by GateOptions.MinMargin.
+	Margin float64 `json:"margin"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// GateOptions tune the verdict thresholds.
+type GateOptions struct {
+	// MinMargin is an absolute floor under every cell's regression
+	// allowance. Training is bit-deterministic per cell, so the default
+	// floor is tiny — the CI half-width term exists for cross-machine
+	// (kernel-path) comparisons, where seed-to-seed spread is the honest
+	// scale of "noise".
+	MinMargin float64
+}
+
+// DefaultMinMargin is the absolute regression allowance floor.
+const DefaultMinMargin = 1e-9
+
+// Gate compares every golden cell against the current summary and returns
+// one verdict per cell (golden order, then any new cells in current order).
+// A cell regresses when its evaluation reward drops below the golden value
+// by more than max(golden group's reward-CI half-width, MinMargin).
+func Gate(golden, current *Summary, opts GateOptions) []Verdict {
+	if opts.MinMargin <= 0 {
+		opts.MinMargin = DefaultMinMargin
+	}
+	margins := map[string]float64{}
+	for _, g := range golden.Groups {
+		key := g.Env + "/" + g.Mode
+		if g.Fault != "" {
+			key += "/" + sanitizeFault(g.Fault)
+		}
+		margins[key] = g.Reward.HalfWidth()
+	}
+	curByID := make(map[string]CellResult, len(current.Cells))
+	for _, c := range current.Cells {
+		curByID[c.ID] = c
+	}
+	var out []Verdict
+	seen := map[string]bool{}
+	for _, g := range golden.Cells {
+		seen[g.ID] = true
+		margin := margins[Cell{Env: g.Env, Mode: g.Mode, Fault: g.Fault}.GroupKey()]
+		if margin < opts.MinMargin {
+			margin = opts.MinMargin
+		}
+		cur, ok := curByID[g.ID]
+		if !ok {
+			out = append(out, Verdict{
+				Cell: g.ID, Status: VerdictMissing, Old: g.EvalReward, Margin: margin,
+				Detail: "cell present in golden but absent from this sweep",
+			})
+			continue
+		}
+		v := Verdict{Cell: g.ID, Old: g.EvalReward, New: cur.EvalReward, Margin: margin}
+		if cur.EvalReward < g.EvalReward-margin {
+			v.Status = VerdictRegress
+			v.Detail = fmt.Sprintf("reward %.6f fell below golden %.6f by more than margin %.6f",
+				cur.EvalReward, g.EvalReward, margin)
+		} else {
+			v.Status = VerdictPass
+		}
+		out = append(out, v)
+	}
+	for _, c := range current.Cells {
+		if !seen[c.ID] {
+			out = append(out, Verdict{
+				Cell: c.ID, Status: VerdictNew, New: c.EvalReward,
+				Detail: "no golden counterpart",
+			})
+		}
+	}
+	return out
+}
+
+// Failed reports whether any verdict fails the gate (regress or missing).
+func Failed(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Status == VerdictRegress || v.Status == VerdictMissing {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteVerdicts prints one line per verdict; failing verdicts are prefixed
+// REGRESSION so CI logs grep the same way they do for the bench gate.
+func WriteVerdicts(w io.Writer, vs []Verdict) {
+	for _, v := range vs {
+		switch v.Status {
+		case VerdictRegress, VerdictMissing:
+			fmt.Fprintf(w, "REGRESSION %s: %s (%s)\n", v.Cell, v.Status, v.Detail)
+		case VerdictNew:
+			fmt.Fprintf(w, "note: %s: new cell (reward %.4f)\n", v.Cell, v.New)
+		default:
+			fmt.Fprintf(w, "ok: %-28s reward %.4f vs golden %.4f (margin %.4g)\n",
+				v.Cell, v.New, v.Old, v.Margin)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// syntheticSummary builds a deterministic 2-env x 1-mode x 3-seed summary
+// without running any training: rewards are a fixed function of (env, seed).
+func syntheticSummary(t *testing.T, reward func(env string, seed int64) float64) *Summary {
+	t.Helper()
+	cfg := &Config{Envs: []string{"abr", "lb"}, Modes: []string{"genet"}, Seeds: []int64{1, 2, 3}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := cfg.Cells()
+	results := make([]CellResult, len(cells))
+	for i, c := range cells {
+		r := reward(c.Env, c.Seed)
+		results[i] = CellResult{
+			ID: c.ID, Env: c.Env, Mode: c.Mode, Seed: c.Seed,
+			EvalReward: r, EvalBaseline: r + 0.5, Gap: 0.5,
+		}
+	}
+	return Aggregate(cfg, cells, results)
+}
+
+func baseReward(env string, seed int64) float64 {
+	r := 1.0 + 0.01*float64(seed)
+	if env == "lb" {
+		r += 10
+	}
+	return r
+}
+
+func TestGateCleanSweepPasses(t *testing.T) {
+	golden := syntheticSummary(t, baseReward)
+	current := syntheticSummary(t, baseReward)
+	vs := Gate(golden, current, GateOptions{})
+	if len(vs) != 6 {
+		t.Fatalf("want 6 verdicts, got %d", len(vs))
+	}
+	for _, v := range vs {
+		if v.Status != VerdictPass {
+			t.Fatalf("clean sweep produced %s for %s: %+v", v.Status, v.Cell, v)
+		}
+	}
+	if Failed(vs) {
+		t.Fatal("clean sweep failed the gate")
+	}
+}
+
+// TestGateInjectedRegression perturbs exactly one cell well past its group's
+// CI half-width and asserts the gate flags that cell and only that cell.
+func TestGateInjectedRegression(t *testing.T) {
+	golden := syntheticSummary(t, baseReward)
+	current := syntheticSummary(t, func(env string, seed int64) float64 {
+		r := baseReward(env, seed)
+		if env == "lb" && seed == 2 {
+			r -= 1.0 // far beyond the ~0.01-scale seed spread
+		}
+		return r
+	})
+	vs := Gate(golden, current, GateOptions{})
+	if !Failed(vs) {
+		t.Fatal("injected regression not flagged")
+	}
+	var regressed []string
+	for _, v := range vs {
+		if v.Status == VerdictRegress {
+			regressed = append(regressed, v.Cell)
+			if v.Margin <= 0 {
+				t.Fatalf("regress verdict with non-positive margin: %+v", v)
+			}
+		}
+	}
+	if len(regressed) != 1 || regressed[0] != "lb.genet.s2" {
+		t.Fatalf("regressed cells = %v, want exactly [lb.genet.s2]", regressed)
+	}
+}
+
+// TestGateMarginAbsorbsSeedNoise: a drop smaller than the golden group's CI
+// half-width passes — the margin is the group's own seed-to-seed spread.
+func TestGateMarginAbsorbsSeedNoise(t *testing.T) {
+	golden := syntheticSummary(t, baseReward)
+	halfWidth := golden.Groups[0].Reward.HalfWidth() // abr group, ~0.01 scale
+	if halfWidth <= 0 {
+		t.Fatalf("degenerate golden half-width %v", halfWidth)
+	}
+	current := syntheticSummary(t, func(env string, seed int64) float64 {
+		r := baseReward(env, seed)
+		if env == "abr" && seed == 1 {
+			r -= halfWidth / 2
+		}
+		return r
+	})
+	if vs := Gate(golden, current, GateOptions{}); Failed(vs) {
+		t.Fatalf("drop within the CI half-width failed the gate: %+v", vs)
+	}
+}
+
+func TestGateMissingAndNewCells(t *testing.T) {
+	golden := syntheticSummary(t, baseReward)
+	// Current sweep dropped lb entirely and grew a cc mode... simulate by
+	// filtering / relabeling cells on a copy.
+	current := syntheticSummary(t, baseReward)
+	var kept []CellResult
+	for _, c := range current.Cells {
+		if c.Env != "lb" {
+			kept = append(kept, c)
+		}
+	}
+	kept = append(kept, CellResult{ID: "cc.genet.s1", Env: "cc", Mode: "genet", Seed: 1, EvalReward: 2})
+	current.Cells = kept
+
+	vs := Gate(golden, current, GateOptions{})
+	if !Failed(vs) {
+		t.Fatal("missing cells must fail the gate")
+	}
+	counts := map[string]int{}
+	for _, v := range vs {
+		counts[v.Status]++
+	}
+	if counts[VerdictMissing] != 3 || counts[VerdictNew] != 1 || counts[VerdictPass] != 3 {
+		t.Fatalf("verdict counts = %v", counts)
+	}
+}
+
+func TestWriteVerdictsGrepsLikeBenchGate(t *testing.T) {
+	golden := syntheticSummary(t, baseReward)
+	current := syntheticSummary(t, func(env string, seed int64) float64 {
+		r := baseReward(env, seed)
+		if env == "abr" && seed == 3 {
+			r -= 5
+		}
+		return r
+	})
+	var buf bytes.Buffer
+	WriteVerdicts(&buf, Gate(golden, current, GateOptions{}))
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION abr.genet.s3: regress") {
+		t.Fatalf("missing REGRESSION line:\n%s", out)
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Fatalf("want exactly one REGRESSION line:\n%s", out)
+	}
+}

@@ -20,10 +20,24 @@ const (
 	ModelFile      = "model.bin"
 )
 
+// Manifest outcome values. Producers write OutcomeRunning when a run
+// starts and replace it at exit; a manifest still reading "running" on disk
+// therefore means the producing process died without reaching its exit path
+// — which is exactly how fleet's resume scan classifies killed cells.
+const (
+	OutcomeRunning     = "running"
+	OutcomeCompleted   = "completed"
+	OutcomeInterrupted = "interrupted"
+	OutcomeFailed      = "failed"
+)
+
 // Manifest records how a run was produced — enough to re-invoke it and to
 // let genet-inspect label a diff between two runs.
 type Manifest struct {
-	Tool     string `json:"tool"`
+	Tool string `json:"tool"`
+	// Cell is the fleet cell identity when this run directory is one cell
+	// of a sweep (empty for standalone runs).
+	Cell     string `json:"cell,omitempty"`
 	UseCase  string `json:"usecase"`
 	Strategy string `json:"strategy"`
 	Seed     int64  `json:"seed"`
@@ -39,7 +53,8 @@ type Manifest struct {
 	CheckpointVersion int    `json:"checkpoint_version,omitempty"`
 	StartedAt         string `json:"started_at,omitempty"`  // RFC3339
 	FinishedAt        string `json:"finished_at,omitempty"` // RFC3339
-	// Outcome is "completed", "interrupted", or "failed".
+	// Outcome is one of the Outcome* constants ("running" until the
+	// producing process reaches its exit path).
 	Outcome string `json:"outcome,omitempty"`
 }
 

@@ -1,0 +1,193 @@
+// Command genet-serve is the policy-serving data plane: it loads a trained
+// model (from genet-train or a genet-fleet cell), answers decisions over
+// HTTP, and atomically hot-swaps the policy whenever the watched file is
+// republished — a torn or mismatched file is rejected and the live policy
+// keeps serving.
+//
+// Serve a model, watching it for republishes:
+//
+//	genet-serve -usecase abr -model runs/abr/model.bin -addr 127.0.0.1:9090
+//
+// Endpoints: /healthz, /metrics (Prometheus text, with decision-latency
+// p50/p99 gauges), POST /decide {"obs":[...]}, /model.
+//
+// Drive a load test instead of serving (-target hits a running server over
+// HTTP; without -target the model is served in-process):
+//
+//	genet-serve -loadgen -usecase abr -model runs/abr/model.bin -sessions 10000
+//	genet-serve -loadgen -usecase abr -target http://127.0.0.1:9090 -sessions 1000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/genet-go/genet/internal/env"
+	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
+	"github.com/genet-go/genet/internal/serve"
+)
+
+func main() {
+	var (
+		useCase   = flag.String("usecase", "abr", "use case: abr|cc|lb")
+		modelPath = flag.String("model", "", "model file or run directory to serve (required unless -loadgen -target)")
+		addr      = flag.String("addr", "127.0.0.1:9090", "serve address")
+		watchIvl  = flag.Duration("watch", 500*time.Millisecond, "poll interval for hot-swapping the model file (0 disables)")
+
+		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
+		target   = flag.String("target", "", "loadgen: base URL of a running genet-serve (default: serve -model in-process)")
+		sessions = flag.Int("sessions", 100, "loadgen: number of simulated sessions")
+		workers  = flag.Int("workers", 0, "loadgen: concurrent sessions (default GOMAXPROCS)")
+		steps    = flag.Int("steps", 64, "loadgen: max decisions per session")
+		seed     = flag.Int64("seed", 1, "loadgen: random seed")
+		level    = flag.String("level", "rl1", "loadgen: environment range rl1|rl2|rl3")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadGen(*useCase, *modelPath, *target, *sessions, *workers, *steps, *seed, *level); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runServe(*useCase, *modelPath, *addr, *watchIvl); err != nil {
+		fatal(err)
+	}
+}
+
+func runServe(useCase, modelPath, addr string, watchIvl time.Duration) error {
+	if modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	path := resolveModelPath(modelPath)
+	m, err := serve.LoadModel(useCase, path)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	s, err := serve.New(useCase, m, reg)
+	if err != nil {
+		return err
+	}
+
+	srv, err := obs.StartHandler(addr, serve.NewHandler(s), func(err error) {
+		fmt.Fprintln(os.Stderr, "genet-serve: server died:", err)
+		os.Exit(1)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("genet-serve: serving %s model v%d (obs %d) on http://%s\n",
+		s.UseCase(), m.Version(), m.ObsSize(), srv.Addr)
+
+	var w *serve.Watcher
+	if watchIvl > 0 {
+		w = serve.Watch(s, modelPath, watchIvl, func(p string, err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "genet-serve:", err)
+				return
+			}
+			fmt.Printf("genet-serve: hot-swapped %s -> model v%d\n", p, s.Swaps())
+		})
+		fmt.Printf("genet-serve: watching %s every %s\n", modelPath, watchIvl)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("genet-serve: draining")
+	if w != nil {
+		w.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+func runLoadGen(useCase, modelPath, target string, sessions, workers, steps int, seed int64, level string) error {
+	lvl, err := parseLevel(level)
+	if err != nil {
+		return err
+	}
+	var (
+		dec serve.Decider
+		srv *serve.Server
+	)
+	switch {
+	case target != "":
+		dec = serve.NewClient(target)
+		fmt.Printf("genet-serve: loadgen against %s\n", target)
+	case modelPath != "":
+		m, err := serve.LoadModel(useCase, resolveModelPath(modelPath))
+		if err != nil {
+			return err
+		}
+		srv, err = serve.New(useCase, m, metrics.NewRegistry())
+		if err != nil {
+			return err
+		}
+		dec = srv
+		fmt.Println("genet-serve: loadgen against in-process policy")
+	default:
+		return fmt.Errorf("-loadgen needs -model or -target")
+	}
+
+	rep, err := serve.RunLoadGen(dec, serve.LoadGenConfig{
+		UseCase:  useCase,
+		Sessions: sessions,
+		Workers:  workers,
+		Seed:     seed,
+		MaxSteps: steps,
+		Level:    lvl,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	// In-process runs also have the server's bucketed view — print it so a
+	// loadgen run doubles as a check of the /metrics percentiles.
+	if srv != nil {
+		snap := srv.Snapshot()
+		if p50, ok := snap.Gauges[serve.MetricDecideP50]; ok {
+			fmt.Printf("  server histogram view: p50 %.3fms  p99 %.3fms\n",
+				p50*1e3, snap.Gauges[serve.MetricDecideP99]*1e3)
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d decisions failed", rep.Errors)
+	}
+	return nil
+}
+
+// resolveModelPath lets users point at a run directory instead of the
+// model file inside it.
+func resolveModelPath(path string) string {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return path + string(os.PathSeparator) + obs.ModelFile
+	}
+	return path
+}
+
+func parseLevel(s string) (env.RangeLevel, error) {
+	switch strings.ToLower(s) {
+	case "rl1":
+		return env.RL1, nil
+	case "rl2":
+		return env.RL2, nil
+	case "rl3":
+		return env.RL3, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want rl1|rl2|rl3)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genet-serve:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -137,6 +138,9 @@ func main() {
 		}
 		srv, err := obs.StartServer(*introspect, obs.ServerOptions{
 			Metrics: reg, Recorder: rec, Status: status,
+			OnError: func(err error) {
+				fmt.Fprintln(os.Stderr, "genet-train: introspection server died:", err)
+			},
 		})
 		if err != nil {
 			fatal(err)
@@ -317,12 +321,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faults: %s\n", injector)
 	}
 
-	f, err := os.Create(*outPath)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	if err := saveModel(h, f); err != nil {
+	// Atomic (temp+fsync+rename) like the checkpoint writes: a policy server
+	// watching this path must never observe a torn model.
+	if err := ckpt.AtomicWriteFile(*outPath, func(w io.Writer) error {
+		return saveModel(h, w)
+	}); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "model written to %s\n", *outPath)
@@ -418,14 +421,14 @@ func sizeHarness(h core.Harness, envs, steps int) {
 	}
 }
 
-func saveModel(h core.Harness, f *os.File) error {
+func saveModel(h core.Harness, w io.Writer) error {
 	switch hh := h.(type) {
 	case *core.ABRHarness:
-		return hh.Agent.Save(f)
+		return hh.Agent.Save(w)
 	case *core.CCHarness:
-		return hh.Agent.Save(f)
+		return hh.Agent.Save(w)
 	case *core.LBHarness:
-		return hh.Agent.Save(f)
+		return hh.Agent.Save(w)
 	}
 	return fmt.Errorf("unknown harness type %T", h)
 }

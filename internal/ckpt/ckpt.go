@@ -127,6 +127,20 @@ func (w *Writer) WriteTo(out io.Writer) (int64, error) {
 // over path. Readers concurrently opening path see either the old complete
 // checkpoint or the new one, never a torn mix.
 func (w *Writer) WriteFile(path string) error {
+	return AtomicWriteFile(path, func(out io.Writer) error {
+		_, err := w.WriteTo(out)
+		return err
+	})
+}
+
+// AtomicWriteFile writes a file produced by write with the same
+// temp+fsync+rename discipline WriteFile uses for checkpoints: the payload
+// lands in a temporary sibling (matching the ".tmp-*" pattern
+// RemoveStaleTemps sweeps), is synced, and is renamed over path. A reader —
+// in particular a model-watching policy server — concurrently opening path
+// sees either the previous complete file or the new one, never a torn mix.
+// Any error removes the temp file and leaves path untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -137,7 +151,7 @@ func (w *Writer) WriteFile(path string) error {
 		tmp.Close()
 		os.Remove(tmpName)
 	}
-	if _, err := w.WriteTo(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		cleanup()
 		return fmt.Errorf("ckpt: write %s: %w", tmpName, err)
 	}

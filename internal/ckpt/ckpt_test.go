@@ -3,6 +3,8 @@ package ckpt
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -309,5 +311,59 @@ func TestReadRejectsHugeClaimedPayloadWithoutAllocating(t *testing.T) {
 	binary.LittleEndian.PutUint64(data[16+2+5:], 1<<60)
 	if _, err := Read(bytes.NewReader(data)); err == nil {
 		t.Fatal("corrupt size accepted")
+	}
+}
+
+// TestAtomicWriteFile covers the generic atomic-write helper the model
+// writers (genet-train, fleet cells) share with WriteFile: content lands
+// whole, overwrites replace atomically, a failing producer leaves the
+// previous file untouched and no temp behind, and temps match the
+// RemoveStaleTemps pattern.
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("model-v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "model-v1" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite replaces the whole file.
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("model-v2"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "model-v2" {
+		t.Fatalf("content after overwrite = %q", got)
+	}
+
+	// A failing producer must not disturb the existing file and must not
+	// strand its temp.
+	wantErr := errors.New("producer failed")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("torn"))
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, wantErr)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "model-v2" {
+		t.Fatalf("failed write disturbed file: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if e.Name() != "model.bin" {
+			t.Fatalf("stray file %q left behind", e.Name())
+		}
 	}
 }

@@ -393,18 +393,15 @@ func runCell(c Cell, dir string, cfg *Config, stop func() bool) (res CellResult,
 
 	evalCell(h, c, cfg.EvalEnvs, &res)
 
-	f, err := os.Create(filepath.Join(dir, obs.ModelFile))
-	if err != nil {
+	// Atomic (temp+fsync+rename) like every other cell artifact: a policy
+	// server hot-swapping from this cell directory must never read a torn
+	// model.
+	if err := ckpt.AtomicWriteFile(filepath.Join(dir, obs.ModelFile), func(w io.Writer) error {
+		return saveModel(h, w)
+	}); err != nil {
 		closeObs()
 		finishManifest(obs.OutcomeFailed)
 		return res, false, err
-	}
-	serr := saveModel(h, f)
-	f.Close()
-	if serr != nil {
-		closeObs()
-		finishManifest(obs.OutcomeFailed)
-		return res, false, serr
 	}
 	if err := writeResult(dir, res); err != nil {
 		closeObs()

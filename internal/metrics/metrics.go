@@ -383,6 +383,50 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observations
+// behind a histogram snapshot by linear interpolation inside its
+// power-of-two buckets, clamped to the exact observed [Min, Max]. With
+// factor-of-two bucket bounds the estimate is within 2x of the true value —
+// the right fidelity for latency dashboards (p50/p99 gauges on a policy
+// server's /metrics), not for gating. Returns NaN on an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	// Rank of the target observation in [1, Count].
+	rank := q * float64(h.Count)
+	var cum int64
+	for _, b := range h.Buckets {
+		prev := float64(cum)
+		cum += b.Count
+		if float64(cum) >= rank {
+			// Interpolate between the bucket's bounds (lower = ub/2 for the
+			// power-of-two layout; the first bucket also holds <=0 values,
+			// for which Min is the honest lower bound).
+			lo := b.UB / 2
+			if lo < h.Min {
+				lo = h.Min
+			}
+			hi := b.UB
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if hi <= lo {
+				return hi
+			}
+			frac := (rank - prev) / float64(b.Count)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return h.Max
+}
+
 // Snapshot is a point-in-time dump of every instrument in a registry; it
 // marshals to the summary JSON the cmd tools write at exit.
 type Snapshot struct {

@@ -248,3 +248,53 @@ func BenchmarkDisabledPath(b *testing.B) {
 		tm.Stop()
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	// 1000 uniform observations on (0, 1]: quantile(q) should track q
+	// within the factor-of-two bucket resolution.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5}, {0.99, 0.99}, {0.9, 0.9},
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("Quantile(%v) = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+	// Edges clamp to the exact observed extremes.
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("Quantile(0) = %v, want Min %v", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %v, want Max %v", got, s.Max)
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v -> %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+
+	// Empty histogram: NaN, never a panic.
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty Quantile != NaN")
+	}
+
+	// Single observation: every quantile is that observation.
+	one := newHistogram()
+	one.Observe(0.25)
+	so := one.snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := so.Quantile(q); got != 0.25 {
+			t.Errorf("single-obs Quantile(%v) = %v", q, got)
+		}
+	}
+}

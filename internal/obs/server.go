@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strings"
 	"time"
 
@@ -18,6 +22,11 @@ type ServerOptions struct {
 	Metrics  *metrics.Registry
 	Recorder *Recorder
 	Status   *RunStatus
+
+	// OnError receives asynchronous serve-loop failures (a listener dying
+	// under the server, an accept loop error). Nil logs to stderr — a dying
+	// introspection server must never be silent.
+	OnError func(error)
 }
 
 // NewHandler builds the introspection mux:
@@ -40,16 +49,29 @@ func NewHandler(opts ServerOptions) http.Handler {
 		WritePrometheus(w, opts.Metrics.Snapshot())
 	})
 
+	// /run and /trace render into a buffer first so an encoding failure can
+	// still become a clean 500 — once any body byte is written the 200 header
+	// is out and the client would see silently truncated JSON instead.
 	mux.HandleFunc("/run", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
-		enc.Encode(runPayload(opts))
+		if err := enc.Encode(runPayload(opts)); err != nil {
+			http.Error(w, fmt.Sprintf("encode run status: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := opts.Recorder.WriteTrace(&buf); err != nil {
+			http.Error(w, fmt.Sprintf("encode trace: %v", err), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		opts.Recorder.WriteTrace(w)
+		w.Write(buf.Bytes())
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -95,7 +117,7 @@ func runPayload(opts ServerOptions) runReply {
 	return reply
 }
 
-// Server is a running introspection HTTP server.
+// Server is a running introspection (or policy-serving) HTTP server.
 type Server struct {
 	// Addr is the actual listen address (useful with ":0").
 	Addr string
@@ -108,21 +130,52 @@ type Server struct {
 // background goroutine. It returns once the listener is bound so callers can
 // report the resolved address immediately.
 func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	return StartHandler(addr, NewHandler(opts), opts.OnError)
+}
+
+// StartHandler listens on addr and serves an arbitrary handler with the same
+// lifecycle as StartServer: bound before returning, served from a background
+// goroutine, serve-loop failures reported through onError (stderr when nil)
+// instead of being dropped on the floor. genet-serve mounts its policy
+// data plane through this entry point.
+func StartHandler(addr string, h http.Handler, onError func(error)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(opts), ReadHeaderTimeout: 5 * time.Second}
+	if onError == nil {
+		onError = func(err error) {
+			fmt.Fprintln(os.Stderr, "obs: http server:", err)
+		}
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
-	go srv.Serve(ln)
+	go func() {
+		// Serve returns ErrServerClosed on Close/Shutdown — the orderly
+		// paths; anything else means the server died under its clients.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			onError(err)
+		}
+	}()
 	return s, nil
 }
 
-// Close shuts the listener down; in-flight requests are abandoned (the
-// trainer is exiting anyway).
+// Close shuts the listener down immediately; in-flight requests are
+// abandoned. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to finish, up to ctx's deadline. A policy server draining live decision
+// traffic uses this; the trainer's exit path keeps using Close (it is
+// exiting anyway).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/genet-go/genet/internal/metrics"
 )
@@ -148,5 +150,144 @@ func TestStartServerResolvesAddr(t *testing.T) {
 	var nilSrv *Server
 	if err := nilSrv.Close(); err != nil {
 		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+// TestHandlerNilSourceBodies pins the payloads (not just the status codes)
+// of /trace and /run with every source nil: both must render complete,
+// parseable JSON through the buffered-encode path, so a serving process can
+// mount the handler before any instrumentation exists.
+func TestHandlerNilSourceBodies(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(ServerOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/trace = %d with nil recorder", resp.StatusCode)
+	}
+	tf, err := ReadTrace(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("nil-recorder /trace is not a valid trace: %v\n%s", err, body)
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Fatalf("nil-recorder /trace has %d events", len(tf.TraceEvents))
+	}
+
+	resp, err = http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/run = %d with nil sources", resp.StatusCode)
+	}
+	var reply runReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("nil-source /run is not valid JSON: %v\n%s", err, body)
+	}
+	if reply.Counters != nil || reply.Spans != nil {
+		t.Fatalf("nil-source /run carries counters/spans: %+v", reply)
+	}
+}
+
+// TestServerShutdownDrains: Shutdown must let an in-flight request finish
+// (Close would abandon it), then refuse new connections.
+func TestServerShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		w.Write([]byte("done"))
+	})
+	srv, err := StartHandler("127.0.0.1:0", mux, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body)}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be waiting on the in-flight request, not killing it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request = %q, %v; want completed body", r.body, r.err)
+	}
+
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
+	}
+}
+
+// TestServeErrorSurfaced: a serve loop dying for any reason other than
+// Close/Shutdown must reach the OnError callback — a silently dead
+// introspection or policy server is the bug this pins.
+func TestServeErrorSurfaced(t *testing.T) {
+	errc := make(chan error, 1)
+	srv, err := StartHandler("127.0.0.1:0", http.NewServeMux(), func(err error) { errc <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener out from under the server: Serve returns a non-nil,
+	// non-ErrServerClosed error, which must be surfaced.
+	srv.ln.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("OnError called with nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve-loop error never surfaced")
+	}
+
+	// The orderly paths must NOT report: a fresh server closed normally.
+	srv2, err := StartHandler("127.0.0.1:0", http.NewServeMux(), func(err error) { errc <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("orderly Close surfaced %v", err)
+	case <-time.After(100 * time.Millisecond):
 	}
 }

@@ -328,3 +328,57 @@ func TestStateRoundTripFreshAgents(t *testing.T) {
 		t.Fatal("fresh-agent restore diverged on first update")
 	}
 }
+
+// TestTornModelStreamRejected is the regression test for the non-atomic
+// model.bin writes fixed in genet-train and fleet: a model file truncated at
+// *any* byte boundary — what a watcher could have read mid-write before the
+// writers adopted temp+rename — must fail to load with an error, never load
+// silently or panic. Both the versioned-gob path and the legacy fallback
+// path it can fall through to are covered by scanning every prefix.
+func TestTornModelStreamRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	dcfg := DiscreteConfig{
+		ObsSize: 3, NumActions: 3, Hidden: []int{4},
+		LR: 1e-3, Gamma: 0.99, Lambda: 0.95, Entropy: 0.01, ValueCoef: 0.5,
+	}
+	dAgent, err := NewDiscreteAgent(dcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbuf bytes.Buffer
+	if err := dAgent.Save(&dbuf); err != nil {
+		t.Fatal(err)
+	}
+	full := dbuf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := LoadDiscreteAgent(dcfg, bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("discrete model truncated at byte %d/%d loaded without error", n, len(full))
+		}
+	}
+	if _, err := LoadDiscreteAgent(dcfg, bytes.NewReader(full)); err != nil {
+		t.Fatalf("complete discrete model rejected: %v", err)
+	}
+
+	gcfg := GaussianConfig{
+		ObsSize: 3, ActionDim: 1, Hidden: []int{4},
+		LR: 1e-3, Gamma: 0.99, Lambda: 0.95, Entropy: 0.01,
+		ClipEps: 0.2, Epochs: 2, InitStd: 0.6, MinStd: 0.05,
+	}
+	gAgent, err := NewGaussianAgent(gcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gbuf bytes.Buffer
+	if err := gAgent.Save(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	full = gbuf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := LoadGaussianAgent(gcfg, bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("gaussian model truncated at byte %d/%d loaded without error", n, len(full))
+		}
+	}
+	if _, err := LoadGaussianAgent(gcfg, bytes.NewReader(full)); err != nil {
+		t.Fatalf("complete gaussian model rejected: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+// DecideRequest is the /decide request body.
+type DecideRequest struct {
+	Obs []float64 `json:"obs"`
+}
+
+// maxDecideBody bounds a /decide request body: the largest observation the
+// repo serves is tens of floats, so 1 MiB is generous headroom, not a limit
+// anyone hits.
+const maxDecideBody = 1 << 20
+
+// NewHandler mounts the serving endpoints:
+//
+//	GET  /healthz  liveness ("ok")
+//	GET  /metrics  Prometheus text exposition, including the decision
+//	               latency histogram and its derived p50/p99 gauges
+//	POST /decide   {"obs": [...]} -> Decision JSON
+//	GET  /model    Info JSON: use case, version, shapes, swap counters
+//
+// JSON responses are encoded into a buffer first so an encoding failure
+// becomes a 500, never a torn 200 body.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, s.Snapshot()); err != nil {
+			http.Error(w, "encode metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+
+	mux.HandleFunc("/decide", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req DecideRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxDecideBody)).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err := s.Decide(req.Obs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, d)
+	})
+
+	mux.HandleFunc("/model", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.Info())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, "encode response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// Client is the HTTP side of the data plane: a Decider that talks to a
+// genet-serve /decide endpoint. It is what the load generator uses in
+// remote mode, and doubles as a minimal Go client for the service.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Decide queries the remote policy. A non-200 response becomes an error
+// carrying the server's message, so dimension mismatches read the same
+// whether the decider is in-process or remote.
+func (c *Client) Decide(obsVec []float64) (Decision, error) {
+	body, err := json.Marshal(DecideRequest{Obs: obsVec})
+	if err != nil {
+		return Decision{}, fmt.Errorf("serve: encode request: %w", err)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(c.BaseURL+"/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Decision{}, fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return Decision{}, fmt.Errorf("serve: /decide: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var d Decision
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return Decision{}, fmt.Errorf("serve: decode response: %w", err)
+	}
+	return d, nil
+}

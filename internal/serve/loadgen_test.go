@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+// TestLoadGenDeterminism: with a deterministic in-process decider, the same
+// seed must produce the same decision count — the property the CI smoke
+// relies on to treat count drift as a regression.
+func TestLoadGenDeterminism(t *testing.T) {
+	s, _ := abrServer(t, metrics.NewRegistry())
+	cfg := LoadGenConfig{UseCase: "abr", Sessions: 8, Workers: 4, Seed: 7, MaxSteps: 16}
+
+	r1, err := RunLoadGen(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunLoadGen(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Errors != 0 || r2.Errors != 0 {
+		t.Fatalf("loadgen errors: %d, %d", r1.Errors, r2.Errors)
+	}
+	if r1.Decisions == 0 {
+		t.Fatal("loadgen made no decisions")
+	}
+	if r1.Decisions != r2.Decisions {
+		t.Fatalf("same seed, different decision counts: %d vs %d", r1.Decisions, r2.Decisions)
+	}
+	// Sequential run must agree with the parallel one (par discipline).
+	r3, err := RunLoadGen(s, LoadGenConfig{UseCase: "abr", Sessions: 8, Workers: 1, Seed: 7, MaxSteps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Decisions != r1.Decisions {
+		t.Fatalf("workers=1 decisions %d != workers=4 decisions %d", r3.Decisions, r1.Decisions)
+	}
+	if r1.QPS <= 0 || r1.P50 < 0 || r1.P99 < r1.P50 {
+		t.Fatalf("report stats implausible: %+v", r1)
+	}
+	if r1.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+// TestLoadGenOverHTTP closes the full loop: sessions drive the policy
+// through the HTTP data plane, and the server's own metrics agree with the
+// generator's count.
+func TestLoadGenOverHTTP(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, _ := abrServer(t, reg)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rep, err := RunLoadGen(NewClient(ts.URL), LoadGenConfig{
+		UseCase: "abr", Sessions: 4, Workers: 2, Seed: 11, MaxSteps: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors over HTTP", rep.Errors)
+	}
+	if rep.Decisions == 0 {
+		t.Fatal("no decisions over HTTP")
+	}
+	if got := reg.Counter(MetricDecisions).Value(); got != rep.Decisions {
+		t.Fatalf("server counted %d decisions, loadgen %d", got, rep.Decisions)
+	}
+}
+
+func TestLoadGenRejectsUnknownUseCase(t *testing.T) {
+	s, _ := abrServer(t, nil)
+	if _, err := RunLoadGen(s, LoadGenConfig{UseCase: "routing"}); err == nil {
+		t.Fatal("unknown use case accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/genet-go/genet/internal/metrics"
+)
+
+// Metric names the server records. Latency lands in a histogram whose
+// buckets drive the p50/p99 gauges on /metrics; swap outcomes are counters
+// so a watcher rejecting torn files is visible on a dashboard, not only in
+// a log.
+const (
+	MetricDecideSeconds = "serve/decide_seconds"
+	MetricDecisions     = "serve/decisions_total"
+	MetricDecideErrors  = "serve/decide_errors_total"
+	MetricSwapsOK       = "serve/swaps_total"
+	MetricSwapsRejected = "serve/swaps_rejected_total"
+	MetricModelVersion  = "serve/model_version"
+	MetricDecideP50     = "serve/decide_p50_seconds"
+	MetricDecideP99     = "serve/decide_p99_seconds"
+)
+
+// Server owns the live policy and answers Decide queries against it. The
+// current model lives behind an atomic pointer: decisions never take a
+// lock, and a hot swap is one pointer store, so a decision in flight during
+// a swap runs entirely against whichever complete model it picked up.
+type Server struct {
+	useCase string
+	cur     atomic.Pointer[Model]
+	swaps   atomic.Uint64 // serving generation counter
+	started time.Time
+
+	// swapMu serializes swap attempts (watcher + manual /swap + tests);
+	// the decision path never touches it.
+	swapMu sync.Mutex
+
+	reg *metrics.Registry
+}
+
+// New builds a server for useCase with an initial model (required: a
+// policy server with nothing to serve is a misconfiguration, not a state).
+// reg is optional; nil disables telemetry at the usual zero cost.
+func New(useCase string, m *Model, reg *metrics.Registry) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: initial model is required")
+	}
+	if m.useCase != useCase {
+		return nil, fmt.Errorf("serve: model use case %q does not match server %q", m.useCase, useCase)
+	}
+	s := &Server{useCase: useCase, reg: reg, started: time.Now()}
+	s.swapIn(m)
+	return s, nil
+}
+
+// UseCase returns the use case this server serves.
+func (s *Server) UseCase() string { return s.useCase }
+
+// Model returns the currently served model.
+func (s *Server) Model() *Model { return s.cur.Load() }
+
+// Swaps returns the serving generation (1 for the initial model, +1 per
+// accepted swap).
+func (s *Server) Swaps() uint64 { return s.swaps.Load() }
+
+// Decide evaluates the live policy at obs, recording latency and outcome.
+// Safe for any number of concurrent callers, including concurrently with
+// SwapFrom.
+func (s *Server) Decide(obs []float64) (Decision, error) {
+	var start time.Time
+	if s.reg.Enabled() {
+		start = time.Now()
+	}
+	d, err := s.cur.Load().Decide(obs)
+	if s.reg.Enabled() {
+		s.reg.Histogram(MetricDecideSeconds).Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.reg.Counter(MetricDecideErrors).Inc()
+		} else {
+			s.reg.Counter(MetricDecisions).Inc()
+		}
+	}
+	return d, err
+}
+
+// swapIn publishes m as the live model under the next serving generation.
+func (s *Server) swapIn(m *Model) {
+	v := s.swaps.Add(1)
+	m.version = v
+	s.cur.Store(m)
+	if s.reg.Enabled() {
+		s.reg.Gauge(MetricModelVersion).Set(float64(v))
+	}
+}
+
+// Swap validates m against the server's use case and publishes it.
+// In-process callers (tests, embedding services) use this; file-driven
+// swaps go through SwapFrom.
+func (s *Server) Swap(m *Model) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if m == nil || m.useCase != s.useCase {
+		s.rejectSwap()
+		return fmt.Errorf("serve: swap rejected: model use case does not match server %q", s.useCase)
+	}
+	s.swapIn(m)
+	if s.reg.Enabled() {
+		s.reg.Counter(MetricSwapsOK).Inc()
+	}
+	return nil
+}
+
+// SwapFrom loads, validates, and publishes the model at path. On any
+// failure — unreadable, torn, corrupt, or architecture-mismatched file —
+// the live model keeps serving, the rejection counter ticks, and the error
+// describes what was wrong with the candidate. The rename-based writers
+// (ckpt.AtomicWriteFile) guarantee a reader here never sees a partial
+// write from a well-behaved producer; this validation is the backstop for
+// everything else (partial copies, wrong files, version skew).
+func (s *Server) SwapFrom(path string) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	m, err := LoadModel(s.useCase, path)
+	if err != nil {
+		s.rejectSwap()
+		return fmt.Errorf("serve: swap rejected, keeping model v%d: %w", s.swaps.Load(), err)
+	}
+	s.swapIn(m)
+	if s.reg.Enabled() {
+		s.reg.Counter(MetricSwapsOK).Inc()
+	}
+	return nil
+}
+
+func (s *Server) rejectSwap() {
+	if s.reg.Enabled() {
+		s.reg.Counter(MetricSwapsRejected).Inc()
+	}
+}
+
+// Snapshot returns the metrics snapshot with the decision-latency p50/p99
+// gauges refreshed from the histogram, the exposition /metrics serves.
+// With telemetry disabled it returns a zero snapshot.
+func (s *Server) Snapshot() metrics.Snapshot {
+	snap := s.reg.Snapshot()
+	if h, ok := snap.Histograms[MetricDecideSeconds]; ok && h.Count > 0 {
+		if snap.Gauges == nil {
+			snap.Gauges = make(map[string]float64, 2)
+		}
+		snap.Gauges[MetricDecideP50] = h.Quantile(0.50)
+		snap.Gauges[MetricDecideP99] = h.Quantile(0.99)
+	}
+	return snap
+}
+
+// Info is the /model response body: what is being served right now.
+type Info struct {
+	UseCase      string  `json:"usecase"`
+	ModelVersion uint64  `json:"model_version"`
+	ObsSize      int     `json:"obs_size"`
+	Discrete     bool    `json:"discrete"`
+	NumActions   int     `json:"num_actions,omitempty"`
+	ActionDim    int     `json:"action_dim,omitempty"`
+	Decisions    int64   `json:"decisions"`
+	SwapsOK      int64   `json:"swaps_ok"`
+	SwapsReject  int64   `json:"swaps_rejected"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// Info assembles the current serving state.
+func (s *Server) Info() Info {
+	m := s.cur.Load()
+	info := Info{
+		UseCase:      s.useCase,
+		ModelVersion: m.version,
+		ObsSize:      m.ObsSize(),
+		Discrete:     m.Discrete(),
+		NumActions:   m.NumActions(),
+		ActionDim:    m.ActionDim(),
+		UptimeSec:    time.Since(s.started).Seconds(),
+	}
+	if s.reg.Enabled() {
+		info.Decisions = s.reg.Counter(MetricDecisions).Value()
+		info.SwapsOK = s.reg.Counter(MetricSwapsOK).Value()
+		info.SwapsReject = s.reg.Counter(MetricSwapsRejected).Value()
+	}
+	return info
+}

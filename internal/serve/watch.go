@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+// Watcher polls a model file (or a run directory containing one) and asks
+// its Server to hot-swap whenever the file changes. Polling — not inotify —
+// keeps the package stdlib-only and works on every platform the trainers
+// run on; at serving granularity a sub-second poll is indistinguishable
+// from a notification.
+//
+// The watcher remembers the (mtime, size) signature of the last file it
+// attempted, successful or not: a rejected candidate is not retried every
+// tick, only when the file changes again. Combined with the rename-based
+// writers this means a healthy producer is picked up exactly once per
+// publish, and a broken file costs one rejection, not a rejection per poll.
+type Watcher struct {
+	s        *Server
+	path     string
+	interval time.Duration
+	onEvent  func(path string, err error)
+
+	lastSig fileSig
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+type fileSig struct {
+	mtime time.Time
+	size  int64
+	ok    bool // a file was present
+}
+
+// Watch starts polling path every interval. path may be a model file or a
+// directory (a trainer run dir), in which case obs.ModelFile inside it is
+// watched; the path does not need to exist yet. onEvent, if non-nil, is
+// called after every swap attempt with the resolved file path and the
+// swap's error (nil on success). Close stops the watcher.
+//
+// The file present at start counts as already served (the caller loaded it
+// to construct the Server), so the first tick does not re-swap it.
+func Watch(s *Server, path string, interval time.Duration, onEvent func(path string, err error)) *Watcher {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	w := &Watcher{
+		s:        s,
+		path:     path,
+		interval: interval,
+		onEvent:  onEvent,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	w.lastSig = statSig(w.resolve())
+	go w.loop()
+	return w
+}
+
+// Path returns the watched path as given (file or directory).
+func (w *Watcher) Path() string { return w.path }
+
+// resolve maps the watched path to the model file: directories get
+// obs.ModelFile appended. Re-resolved every poll so a run directory that
+// appears after the watcher starts is still picked up.
+func (w *Watcher) resolve() string {
+	if fi, err := os.Stat(w.path); err == nil && fi.IsDir() {
+		return filepath.Join(w.path, obs.ModelFile)
+	}
+	return w.path
+}
+
+func statSig(path string) fileSig {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileSig{}
+	}
+	return fileSig{mtime: fi.ModTime(), size: fi.Size(), ok: true}
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.Poll()
+		}
+	}
+}
+
+// Poll performs one check-and-maybe-swap cycle. It is what the background
+// loop runs each tick; tests and CLIs may call it directly for a
+// deterministic, synchronous check.
+func (w *Watcher) Poll() {
+	path := w.resolve()
+	sig := statSig(path)
+	if !sig.ok || sig == w.lastSig {
+		return
+	}
+	// Record the signature before the attempt: a rejected file is not
+	// retried until it changes again.
+	w.lastSig = sig
+	err := w.s.SwapFrom(path)
+	if w.onEvent != nil {
+		w.onEvent(path, err)
+	}
+}
+
+// Close stops the polling loop and waits for it to exit. Safe to call once
+// per watcher; nil-safe.
+func (w *Watcher) Close() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}

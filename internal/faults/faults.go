@@ -48,6 +48,19 @@ const (
 	BOQueryFail
 	// CkptWriteFail makes a checkpoint write return an error.
 	CkptWriteFail
+	// DecideLatency injects a latency spike into a policy server's decide
+	// path (the model evaluation stalls before answering).
+	DecideLatency
+	// DecideError makes a policy server's model evaluation fail as if the
+	// network produced a non-finite output — the signal the degraded-mode
+	// quarantine watches for.
+	DecideError
+	// SwapCorrupt corrupts a hot-swap candidate in the serving watcher, as
+	// a non-atomic producer or a partial copy would.
+	SwapCorrupt
+	// ClientDrop drops a serve client's request on the floor before it
+	// reaches the network, as a connection reset would.
+	ClientDrop
 
 	numSites
 )
@@ -58,6 +71,10 @@ var siteNames = [numSites]string{
 	TraceCorrupt:  "trace-corrupt",
 	BOQueryFail:   "bo-query",
 	CkptWriteFail: "ckpt-write",
+	DecideLatency: "decide-latency",
+	DecideError:   "decide-error",
+	SwapCorrupt:   "swap-corrupt",
+	ClientDrop:    "client-drop",
 }
 
 // String returns the spec name of the site ("env-step", "grad-nan", ...).

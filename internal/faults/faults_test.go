@@ -185,6 +185,92 @@ func TestCountersUnderConcurrency(t *testing.T) {
 	}
 }
 
+// TestFireDecisionsDeterministicUnderConcurrency pins the injector's core
+// contract under -race: the decision for the k-th arrival at a site is a
+// pure function of (seed, site, k), so with N total arrivals split across
+// racing goroutines the multiset of decisions — and therefore the calls and
+// fired totals — is identical to a sequential run of N arrivals, no matter
+// how the scheduler interleaves them. (Which goroutine observes which
+// decision is scheduling-dependent; which decisions exist is not.)
+func TestFireDecisionsDeterministicUnderConcurrency(t *testing.T) {
+	const workers, per = 8, 400
+	const total = workers * per
+
+	// Sequential reference: decision per call index.
+	ref := New(23)
+	ref.Enable(GradPoison, 3)
+	refFired := 0
+	for i := 0; i < total; i++ {
+		if ref.Fire(GradPoison) {
+			refFired++
+		}
+	}
+
+	for rep := 0; rep < 4; rep++ {
+		in := New(23)
+		in.Enable(GradPoison, 3)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					in.Fire(GradPoison)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := in.Calls(GradPoison); got != total {
+			t.Fatalf("rep %d: calls = %d, want %d", rep, got, total)
+		}
+		if got := int(in.Fired(GradPoison)); got != refFired {
+			t.Fatalf("rep %d: concurrent fired %d, sequential fired %d", rep, got, refFired)
+		}
+	}
+}
+
+// TestStreamDecisionsDeterministicUnderConcurrency: a keyed stream's k-th
+// decision depends only on (seed, site, key, k). Racing streams with other
+// keys — and global-counter Fire traffic on the same site — must not change
+// any stream's per-index decision sequence.
+func TestStreamDecisionsDeterministicUnderConcurrency(t *testing.T) {
+	const workers, per = 8, 300
+
+	sequences := func(noise bool) [][]bool {
+		in := New(31)
+		in.Enable(TraceCorrupt, 4)
+		out := make([][]bool, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st := in.Stream(TraceCorrupt, int64(1000+w))
+				seq := make([]bool, per)
+				for i := range seq {
+					if noise {
+						// Global-counter traffic racing on the same site.
+						in.Fire(TraceCorrupt)
+					}
+					seq[i] = st.Fire()
+				}
+				out[w] = seq
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+
+	quiet, noisy := sequences(false), sequences(true)
+	for w := range quiet {
+		for i := range quiet[w] {
+			if quiet[w][i] != noisy[w][i] {
+				t.Fatalf("stream %d decision %d changed under concurrent interleaving", w, i)
+			}
+		}
+	}
+}
+
 func TestParseSpec(t *testing.T) {
 	in, err := ParseSpec(5, "grad-nan:3, env-step:500,ckpt-write:1")
 	if err != nil {

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrShed is returned when the admission gate cannot seat a request within
+// its wait budget: the server is saturated and chose to fail this request
+// fast (HTTP maps it to 503 + Retry-After) rather than queue without bound
+// and collapse for everyone.
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// Gate is a bounded admission semaphore with a small wait budget. Capacity
+// bounds concurrent decisions; a request that cannot seat within the wait
+// budget (or before its own deadline) is shed. A nil *Gate admits
+// everything — the pre-robustness behavior — so embedding callers opt in.
+//
+// The wait budget is deliberately small (milliseconds): its job is to
+// absorb scheduling jitter at the capacity edge, not to build a queue. Under
+// sustained overload the gate converges to serving exactly its capacity and
+// shedding the rest immediately, which is what keeps tail latency flat while
+// offered load climbs.
+type Gate struct {
+	sem  chan struct{}
+	wait time.Duration
+}
+
+// NewGate builds a gate seating at most capacity concurrent requests, each
+// willing to wait up to wait for a seat. capacity <= 0 returns nil (no
+// gating).
+func NewGate(capacity int, wait time.Duration) *Gate {
+	if capacity <= 0 {
+		return nil
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	return &Gate{sem: make(chan struct{}, capacity), wait: wait}
+}
+
+// Acquire seats the request or sheds it. Returns nil (caller must Release),
+// ErrShed when the wait budget elapses, or the context error when the
+// request's own deadline expires first. Nil-safe: a nil gate admits
+// immediately.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	// Fast path: a free seat costs one channel op, no timer.
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.wait == 0 {
+		return ErrShed
+	}
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a seat acquired with Acquire. Nil-safe.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.sem
+}
+
+// Inflight returns the number of currently seated requests. Nil-safe.
+func (g *Gate) Inflight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+// Capacity returns the gate's seat count (0 for a nil gate).
+func (g *Gate) Capacity() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.sem)
+}

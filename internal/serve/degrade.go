@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// DegradeConfig tunes the model-quarantine state machine. The zero value
+// selects the defaults below; QuarantineAfter < 0 disables quarantine
+// entirely (model failures still fall back per-request, but the server
+// never stops probing the model on the main path).
+type DegradeConfig struct {
+	// QuarantineAfter is how many consecutive model failures (decide
+	// panics or non-finite outputs) quarantine the model. Default 3.
+	QuarantineAfter int
+	// ProbeEvery: in degraded mode every Nth decide also probes the
+	// quarantined model off the response path. Default 16.
+	ProbeEvery int
+	// RecoverAfter is how many consecutive successful probes restore full
+	// service. Default 3.
+	RecoverAfter int
+}
+
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 16
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 3
+	}
+	return c
+}
+
+// degrader tracks model health: consecutive failures on the healthy path,
+// the degraded flag, and probe outcomes in degraded mode. All state is
+// atomic — the decide path reads it lock-free from any number of
+// goroutines. Under concurrent failures the transition may happen one
+// request earlier or later than a sequential trace; the invariant that
+// matters (repeated failures always quarantine, repeated good probes always
+// restore) holds regardless of interleaving, and a sequential caller sees
+// exact counts.
+type degrader struct {
+	cfg DegradeConfig
+
+	bad        atomic.Int64 // consecutive model failures while healthy
+	degraded   atomic.Bool
+	arrivals   atomic.Uint64 // decide arrivals while degraded (probe pacing)
+	goodProbes atomic.Int64  // consecutive good probes while degraded
+}
+
+func newDegrader(cfg DegradeConfig) *degrader {
+	return &degrader{cfg: cfg.withDefaults()}
+}
+
+// Degraded reports whether the model is quarantined.
+func (d *degrader) Degraded() bool { return d.degraded.Load() }
+
+// recordFailure counts one model failure on the healthy path and reports
+// whether it crossed the quarantine threshold (true exactly once per
+// crossing; the caller flips the state).
+func (d *degrader) recordFailure() bool {
+	if d.cfg.QuarantineAfter < 0 {
+		return false
+	}
+	return d.bad.Add(1) == int64(d.cfg.QuarantineAfter)
+}
+
+// recordSuccess resets the consecutive-failure streak.
+func (d *degrader) recordSuccess() { d.bad.Store(0) }
+
+// quarantine enters degraded mode. Returns true for the caller that
+// performed the transition (so the counter ticks once).
+func (d *degrader) quarantine() bool {
+	if d.degraded.CompareAndSwap(false, true) {
+		d.arrivals.Store(0)
+		d.goodProbes.Store(0)
+		return true
+	}
+	return false
+}
+
+// shouldProbe paces probes in degraded mode: every cfg.ProbeEvery-th
+// arrival probes the quarantined model.
+func (d *degrader) shouldProbe() bool {
+	return d.arrivals.Add(1)%uint64(d.cfg.ProbeEvery) == 0
+}
+
+// probeResult records a probe outcome and reports whether the streak of
+// good probes restores full service (true exactly once per restore).
+func (d *degrader) probeResult(ok bool) bool {
+	if !ok {
+		d.goodProbes.Store(0)
+		return false
+	}
+	if d.goodProbes.Add(1) >= int64(d.cfg.RecoverAfter) {
+		if d.degraded.CompareAndSwap(true, false) {
+			d.bad.Store(0)
+			return true
+		}
+	}
+	return false
+}

@@ -2,12 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"io"
 	"net/http"
-	"strings"
-	"time"
+	"strconv"
 
 	"github.com/genet-go/genet/internal/obs"
 )
@@ -22,12 +22,22 @@ type DecideRequest struct {
 // anyone hits.
 const maxDecideBody = 1 << 20
 
+// shedRetryAfterSec is the Retry-After hint on a 503 shed response: long
+// enough that a well-behaved client backs off past the transient, short
+// enough that capacity freed by a drained burst is reused promptly.
+const shedRetryAfterSec = 1
+
 // NewHandler mounts the serving endpoints:
 //
-//	GET  /healthz  liveness ("ok")
+//	GET  /healthz  liveness ("ok" while the process can answer at all)
+//	GET  /readyz   readiness: 200 "ready" at full fidelity, 503 "degraded"
+//	               while the model is quarantined and fallback is serving
 //	GET  /metrics  Prometheus text exposition, including the decision
-//	               latency histogram and its derived p50/p99 gauges
-//	POST /decide   {"obs": [...]} -> Decision JSON
+//	               latency histogram, its derived p50/p99 gauges, and the
+//	               shed/deadline/degraded counters
+//	POST /decide   {"obs": [...]} -> Decision JSON. Shed requests get 503 +
+//	               Retry-After; requests that exhaust the per-request
+//	               deadline get 504.
 //	GET  /model    Info JSON: use case, version, shapes, swap counters
 //
 // JSON responses are encoded into a buffer first so an encoding failure
@@ -38,6 +48,19 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
+	})
+
+	// Readiness is distinct from liveness: a degraded server is alive (it
+	// answers with fallback decisions) but tells balancers to prefer
+	// healthy replicas. 503 — not a crash — is the whole point.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "degraded\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -60,9 +83,27 @@ func NewHandler(s *Server) http.Handler {
 			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		d, err := s.Decide(req.Obs)
+		ctx := r.Context()
+		if d := s.Deadline(); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		d, err := s.DecideCtx(ctx, req.Obs)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			switch {
+			case errors.Is(err, ErrShed):
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSec))
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.Is(err, context.DeadlineExceeded):
+				http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+			case errors.Is(err, context.Canceled):
+				// The client went away; the status is moot but pick one
+				// that is not a 200.
+				http.Error(w, "request canceled", http.StatusServiceUnavailable)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
 			return
 		}
 		writeJSON(w, d)
@@ -83,50 +124,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
-}
-
-// Client is the HTTP side of the data plane: a Decider that talks to a
-// genet-serve /decide endpoint. It is what the load generator uses in
-// remote mode, and doubles as a minimal Go client for the service.
-type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
-	BaseURL string
-	// HTTPClient defaults to a client with a 10s timeout.
-	HTTPClient *http.Client
-}
-
-// NewClient returns a Client for the server at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL:    strings.TrimRight(baseURL, "/"),
-		HTTPClient: &http.Client{Timeout: 10 * time.Second},
-	}
-}
-
-// Decide queries the remote policy. A non-200 response becomes an error
-// carrying the server's message, so dimension mismatches read the same
-// whether the decider is in-process or remote.
-func (c *Client) Decide(obsVec []float64) (Decision, error) {
-	body, err := json.Marshal(DecideRequest{Obs: obsVec})
-	if err != nil {
-		return Decision{}, fmt.Errorf("serve: encode request: %w", err)
-	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Post(c.BaseURL+"/decide", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return Decision{}, fmt.Errorf("serve: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return Decision{}, fmt.Errorf("serve: /decide: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-	var d Decision
-	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return Decision{}, fmt.Errorf("serve: decode response: %w", err)
-	}
-	return d, nil
 }

@@ -7,10 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/genet-go/genet/internal/abr"
-	"github.com/genet-go/genet/internal/cc"
 	"github.com/genet-go/genet/internal/env"
-	"github.com/genet-go/genet/internal/lb"
 	"github.com/genet-go/genet/internal/par"
 	"github.com/genet-go/genet/internal/stats"
 )
@@ -165,14 +162,10 @@ func runSession(d Decider, uc string, level env.RangeLevel, rng *rand.Rand, maxS
 	}
 
 	switch uc {
-	case "abr":
-		e := abr.NewRLEnv(abr.GenFromConfig(env.ABRSpace(level).Sample(rng)))
-		stepDiscrete(e, decide, rng, maxSteps)
-	case "lb":
-		e := lb.NewRLEnv(lb.GenFromConfig(env.LBSpace(level).Sample(rng)))
-		stepDiscrete(e, decide, rng, maxSteps)
+	case "abr", "lb":
+		stepDiscrete(newDiscreteEnv(uc, level, rng), decide, rng, maxSteps)
 	case "cc":
-		e := cc.NewRLEnv(cc.GenFromConfig(env.CCSpace(level).Sample(rng)))
+		e := newContinuousEnv(level, rng)
 		obsVec := e.Reset(rng)
 		for step := 0; step < maxSteps; step++ {
 			dec, ok := decide(obsVec)

@@ -42,7 +42,11 @@ type Decision struct {
 	ActionVec []float64 `json:"action_vec,omitempty"`
 	// ModelVersion is the serving generation of the model that made this
 	// decision (1 for the initially loaded model, +1 per accepted swap).
+	// Zero on fallback decisions: no model made them.
 	ModelVersion uint64 `json:"model_version"`
+	// Fallback marks a decision served by the rule-based degraded-mode
+	// policy instead of the learned model.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // Model is one loaded, validated, immutable policy. It is safe for

@@ -1,33 +1,76 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/metrics"
 )
 
 // Metric names the server records. Latency lands in a histogram whose
 // buckets drive the p50/p99 gauges on /metrics; swap outcomes are counters
 // so a watcher rejecting torn files is visible on a dashboard, not only in
-// a log.
+// a log. The overload/degradation counters make the failure story
+// measurable: shed and deadline-exceeded requests, model failures, the
+// quarantine transitions, and the fallback decisions served while degraded.
 const (
-	MetricDecideSeconds = "serve/decide_seconds"
-	MetricDecisions     = "serve/decisions_total"
-	MetricDecideErrors  = "serve/decide_errors_total"
-	MetricSwapsOK       = "serve/swaps_total"
-	MetricSwapsRejected = "serve/swaps_rejected_total"
-	MetricModelVersion  = "serve/model_version"
-	MetricDecideP50     = "serve/decide_p50_seconds"
-	MetricDecideP99     = "serve/decide_p99_seconds"
+	MetricDecideSeconds    = "serve/decide_seconds"
+	MetricDecisions        = "serve/decisions_total"
+	MetricDecideErrors     = "serve/decide_errors_total"
+	MetricSwapsOK          = "serve/swaps_total"
+	MetricSwapsRejected    = "serve/swaps_rejected_total"
+	MetricModelVersion     = "serve/model_version"
+	MetricDecideP50        = "serve/decide_p50_seconds"
+	MetricDecideP99        = "serve/decide_p99_seconds"
+	MetricShed             = "serve/shed_total"
+	MetricDeadlineExceeded = "serve/deadline_exceeded_total"
+	MetricDegraded         = "serve/degraded"
+	MetricFallbacks        = "serve/fallback_decisions_total"
+	MetricQuarantines      = "serve/model_quarantines_total"
+	MetricModelFailures    = "serve/model_failures_total"
+	MetricInflight         = "serve/inflight"
+	MetricWatchErrors      = "serve/watch_errors_total"
 )
+
+// RobustnessOptions opts a server into the overload/failure machinery. The
+// zero value keeps the pre-robustness behavior: no admission gate, no
+// per-request deadline at the HTTP layer, quarantine at its default
+// threshold, no fault injection. Configure must be called before the server
+// starts taking traffic; it is not synchronized against in-flight decides.
+type RobustnessOptions struct {
+	// MaxInflight bounds concurrent decisions; excess load is shed with
+	// ErrShed (HTTP: 503 + Retry-After). <= 0 disables the gate.
+	MaxInflight int
+	// ShedWait is how long an arriving request may wait for a seat before
+	// being shed. Keep it small — it absorbs jitter, it is not a queue.
+	ShedWait time.Duration
+	// Deadline is the per-request budget the HTTP handler applies to
+	// /decide (0 = none). In-process callers pass their own contexts.
+	Deadline time.Duration
+	// Degrade tunes the model-quarantine state machine.
+	Degrade DegradeConfig
+	// Injector arms chaos sites on the serve path (decide-latency,
+	// decide-error here; swap-corrupt in SwapFrom). Nil = off.
+	Injector *faults.Injector
+	// LatencySpike is the stall injected when decide-latency fires
+	// (default 50ms).
+	LatencySpike time.Duration
+}
 
 // Server owns the live policy and answers Decide queries against it. The
 // current model lives behind an atomic pointer: decisions never take a
 // lock, and a hot swap is one pointer store, so a decision in flight during
 // a swap runs entirely against whichever complete model it picked up.
+//
+// The robustness layer wraps that hot path without slowing it down when
+// idle: a nil gate admits in one nil check, the degrader is a couple of
+// atomic loads, and fault sites are nil-injector checks.
 type Server struct {
 	useCase string
 	cur     atomic.Pointer[Model]
@@ -39,6 +82,12 @@ type Server struct {
 	swapMu sync.Mutex
 
 	reg *metrics.Registry
+
+	gate     *Gate
+	deg      *degrader
+	deadline time.Duration
+	inj      *faults.Injector
+	spike    time.Duration
 }
 
 // New builds a server for useCase with an initial model (required: a
@@ -52,8 +101,21 @@ func New(useCase string, m *Model, reg *metrics.Registry) (*Server, error) {
 		return nil, fmt.Errorf("serve: model use case %q does not match server %q", m.useCase, useCase)
 	}
 	s := &Server{useCase: useCase, reg: reg, started: time.Now()}
+	s.deg = newDegrader(DegradeConfig{})
+	s.spike = 50 * time.Millisecond
 	s.swapIn(m)
 	return s, nil
+}
+
+// Configure applies the robustness options. Call before serving traffic.
+func (s *Server) Configure(o RobustnessOptions) {
+	s.gate = NewGate(o.MaxInflight, o.ShedWait)
+	s.deg = newDegrader(o.Degrade)
+	s.deadline = o.Deadline
+	s.inj = o.Injector
+	if o.LatencySpike > 0 {
+		s.spike = o.LatencySpike
+	}
 }
 
 // UseCase returns the use case this server serves.
@@ -66,24 +128,188 @@ func (s *Server) Model() *Model { return s.cur.Load() }
 // accepted swap).
 func (s *Server) Swaps() uint64 { return s.swaps.Load() }
 
-// Decide evaluates the live policy at obs, recording latency and outcome.
+// Ready reports whether the server is serving the learned model at full
+// fidelity. It is the /readyz signal: a degraded server keeps answering
+// (with fallback decisions) but advertises not-ready so load balancers can
+// prefer healthy replicas.
+func (s *Server) Ready() bool { return !s.deg.Degraded() }
+
+// Degraded reports whether the model is quarantined.
+func (s *Server) Degraded() bool { return s.deg.Degraded() }
+
+// Deadline returns the per-request budget the HTTP layer applies (0 =
+// none).
+func (s *Server) Deadline() time.Duration { return s.deadline }
+
+// Inflight returns the number of currently admitted decisions (0 without a
+// gate).
+func (s *Server) Inflight() int { return s.gate.Inflight() }
+
+// Decide evaluates the live policy at obs with no caller deadline. It is
+// the compatibility entry point for the Decider interface; new callers use
+// DecideCtx.
+func (s *Server) Decide(obs []float64) (Decision, error) {
+	return s.DecideCtx(context.Background(), obs)
+}
+
+// DecideCtx answers one policy query under the caller's context. The
+// request is admitted through the gate (shed with ErrShed when the server
+// is saturated), checked against the deadline, and evaluated against the
+// live model — or the rule-based fallback when the model is quarantined or
+// fails on this request. Client errors (wrong observation size) are never
+// treated as model failures.
+//
 // Safe for any number of concurrent callers, including concurrently with
 // SwapFrom.
-func (s *Server) Decide(obs []float64) (Decision, error) {
+func (s *Server) DecideCtx(ctx context.Context, obs []float64) (Decision, error) {
 	var start time.Time
 	if s.reg.Enabled() {
 		start = time.Now()
 	}
-	d, err := s.cur.Load().Decide(obs)
-	if s.reg.Enabled() {
-		s.reg.Histogram(MetricDecideSeconds).Observe(time.Since(start).Seconds())
-		if err != nil {
+
+	if err := s.gate.Acquire(ctx); err != nil {
+		s.countAdmissionFailure(err)
+		return Decision{}, err
+	}
+	defer s.gate.Release()
+
+	if err := ctx.Err(); err != nil {
+		s.countAdmissionFailure(err)
+		return Decision{}, err
+	}
+
+	m := s.cur.Load()
+	// Validate the request before touching the model: a malformed
+	// observation is the client's fault and must not feed quarantine.
+	if len(obs) != m.ObsSize() {
+		if s.reg.Enabled() {
 			s.reg.Counter(MetricDecideErrors).Inc()
-		} else {
-			s.reg.Counter(MetricDecisions).Inc()
+		}
+		return Decision{}, fmt.Errorf("serve: observation has %d dims, %s model wants %d", len(obs), s.useCase, m.ObsSize())
+	}
+
+	// Chaos: a latency spike stalls the decide inside its deadline budget.
+	if s.inj.Fire(faults.DecideLatency) {
+		t := time.NewTimer(s.spike)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.countAdmissionFailure(ctx.Err())
+			return Decision{}, ctx.Err()
 		}
 	}
+
+	if s.deg.Degraded() {
+		d, err := s.fallbackDecide(obs)
+		s.maybeProbe(m, obs)
+		s.observeDecide(start, err)
+		return d, err
+	}
+
+	d, err := s.modelDecide(m, obs)
+	if err != nil {
+		// Model failure: count it, maybe quarantine, and keep the client
+		// whole with a fallback decision for this request.
+		if s.reg.Enabled() {
+			s.reg.Counter(MetricModelFailures).Inc()
+		}
+		if s.deg.recordFailure() && s.deg.quarantine() {
+			if s.reg.Enabled() {
+				s.reg.Counter(MetricQuarantines).Inc()
+				s.reg.Gauge(MetricDegraded).Set(1)
+			}
+		}
+		d, err = s.fallbackDecide(obs)
+		s.observeDecide(start, err)
+		return d, err
+	}
+	s.deg.recordSuccess()
+	s.observeDecide(start, nil)
+	return d, nil
+}
+
+// modelDecide evaluates the learned model with the failure containment the
+// data plane needs: panics become errors, non-finite or out-of-range
+// outputs are rejected, and the decide-error chaos site can force a
+// failure. Any error return here is a *model* failure (inputs were already
+// validated).
+func (s *Server) modelDecide(m *Model, obs []float64) (d Decision, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: model decide panic: %v", r)
+		}
+	}()
+	if s.inj.Fire(faults.DecideError) {
+		return Decision{}, faults.Injected{Site: faults.DecideError}
+	}
+	d, err = m.Decide(obs)
+	if err != nil {
+		return Decision{}, err
+	}
+	if m.Discrete() {
+		if d.Action < 0 || d.Action >= m.NumActions() {
+			return Decision{}, fmt.Errorf("serve: model produced out-of-range action %d", d.Action)
+		}
+	} else {
+		for _, v := range d.ActionVec {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Decision{}, fmt.Errorf("serve: model produced non-finite action %v", v)
+			}
+		}
+	}
+	return d, nil
+}
+
+// fallbackDecide serves the rule-based degraded-mode decision.
+func (s *Server) fallbackDecide(obs []float64) (Decision, error) {
+	d, err := FallbackDecision(s.useCase, obs)
+	if s.reg.Enabled() && err == nil {
+		s.reg.Counter(MetricFallbacks).Inc()
+	}
 	return d, err
+}
+
+// maybeProbe, in degraded mode, evaluates the quarantined model off the
+// response path on every Nth arrival; enough consecutive good probes
+// restore full service.
+func (s *Server) maybeProbe(m *Model, obs []float64) {
+	if !s.deg.shouldProbe() {
+		return
+	}
+	_, perr := s.modelDecide(m, obs)
+	if s.deg.probeResult(perr == nil) {
+		if s.reg.Enabled() {
+			s.reg.Gauge(MetricDegraded).Set(0)
+		}
+	}
+}
+
+// countAdmissionFailure classifies a pre-decide failure: shed vs deadline.
+func (s *Server) countAdmissionFailure(err error) {
+	if !s.reg.Enabled() {
+		return
+	}
+	if errors.Is(err, ErrShed) {
+		s.reg.Counter(MetricShed).Inc()
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.reg.Counter(MetricDeadlineExceeded).Inc()
+	}
+}
+
+// observeDecide records latency and outcome for an admitted request.
+func (s *Server) observeDecide(start time.Time, err error) {
+	if !s.reg.Enabled() {
+		return
+	}
+	s.reg.Histogram(MetricDecideSeconds).Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.reg.Counter(MetricDecideErrors).Inc()
+	} else {
+		s.reg.Counter(MetricDecisions).Inc()
+	}
 }
 
 // swapIn publishes m as the live model under the next serving generation.
@@ -119,11 +345,16 @@ func (s *Server) Swap(m *Model) error {
 // describes what was wrong with the candidate. The rename-based writers
 // (ckpt.AtomicWriteFile) guarantee a reader here never sees a partial
 // write from a well-behaved producer; this validation is the backstop for
-// everything else (partial copies, wrong files, version skew).
+// everything else (partial copies, wrong files, version skew). The
+// swap-corrupt chaos site forces that backstop to fire, proving a fault
+// storm cannot push a bad candidate live.
 func (s *Server) SwapFrom(path string) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	m, err := LoadModel(s.useCase, path)
+	if err == nil && s.inj.Fire(faults.SwapCorrupt) {
+		m, err = nil, faults.Injected{Site: faults.SwapCorrupt}
+	}
 	if err != nil {
 		s.rejectSwap()
 		return fmt.Errorf("serve: swap rejected, keeping model v%d: %w", s.swaps.Load(), err)
@@ -142,16 +373,28 @@ func (s *Server) rejectSwap() {
 }
 
 // Snapshot returns the metrics snapshot with the decision-latency p50/p99
-// gauges refreshed from the histogram, the exposition /metrics serves.
-// With telemetry disabled it returns a zero snapshot.
+// gauges refreshed from the histogram and the degraded/inflight gauges
+// refreshed from live state — the exposition /metrics serves. With
+// telemetry disabled it returns a zero snapshot.
 func (s *Server) Snapshot() metrics.Snapshot {
 	snap := s.reg.Snapshot()
+	if !s.reg.Enabled() {
+		return snap
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]float64, 4)
+	}
 	if h, ok := snap.Histograms[MetricDecideSeconds]; ok && h.Count > 0 {
-		if snap.Gauges == nil {
-			snap.Gauges = make(map[string]float64, 2)
-		}
 		snap.Gauges[MetricDecideP50] = h.Quantile(0.50)
 		snap.Gauges[MetricDecideP99] = h.Quantile(0.99)
+	}
+	if s.deg.Degraded() {
+		snap.Gauges[MetricDegraded] = 1
+	} else {
+		snap.Gauges[MetricDegraded] = 0
+	}
+	if s.gate != nil {
+		snap.Gauges[MetricInflight] = float64(s.gate.Inflight())
 	}
 	return snap
 }
@@ -167,6 +410,8 @@ type Info struct {
 	Decisions    int64   `json:"decisions"`
 	SwapsOK      int64   `json:"swaps_ok"`
 	SwapsReject  int64   `json:"swaps_rejected"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	Shed         int64   `json:"shed,omitempty"`
 	UptimeSec    float64 `json:"uptime_sec"`
 }
 
@@ -180,12 +425,14 @@ func (s *Server) Info() Info {
 		Discrete:     m.Discrete(),
 		NumActions:   m.NumActions(),
 		ActionDim:    m.ActionDim(),
+		Degraded:     s.deg.Degraded(),
 		UptimeSec:    time.Since(s.started).Seconds(),
 	}
 	if s.reg.Enabled() {
 		info.Decisions = s.reg.Counter(MetricDecisions).Value()
 		info.SwapsOK = s.reg.Counter(MetricSwapsOK).Value()
 		info.SwapsReject = s.reg.Counter(MetricSwapsRejected).Value()
+		info.Shed = s.reg.Counter(MetricShed).Value()
 	}
 	return info
 }

@@ -307,9 +307,9 @@ func TestWatcherSwaps(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var events []event
-	// A long interval: the ticker never fires during the test; every cycle
-	// below is an explicit Poll.
-	w := Watch(s, dir, time.Hour, func(p string, err error) {
+	// Loop-less watcher: every cycle below is an explicit Poll, satisfying
+	// the single-threaded Poll contract.
+	w := newWatcher(s, dir, time.Hour, func(p string, err error) {
 		mu.Lock()
 		events = append(events, event{p, err})
 		mu.Unlock()
@@ -451,9 +451,10 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	for _, want := range []string{
 		"genet_serve_decisions_total 1",
-		// Two decide calls hit the policy: the success and the
-		// dimension-mismatch (latency is recorded for both, errors for one).
-		"genet_serve_decide_seconds_count 2",
+		// Only the successful decide lands in the latency histogram: the
+		// dimension-mismatch is rejected before the policy is evaluated,
+		// so malformed requests cannot skew the latency percentiles.
+		"genet_serve_decide_seconds_count 1",
 		"genet_serve_decide_errors_total 1",
 		"genet_serve_decide_p50_seconds",
 		"genet_serve_decide_p99_seconds",

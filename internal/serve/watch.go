@@ -19,6 +19,13 @@ import (
 // tick, only when the file changes again. Combined with the rename-based
 // writers this means a healthy producer is picked up exactly once per
 // publish, and a broken file costs one rejection, not a rejection per poll.
+//
+// Errors back off: a failing stat (other than "not there yet") or a failing
+// swap doubles the next poll delay, capped at watchBackoffCap times the
+// base interval, and ticks the serve/watch_errors_total counter. A clean
+// poll resets the delay, so a producer that recovers is picked up at the
+// base cadence again. A file that simply does not exist yet is not an
+// error — waiting for the first publish polls at the base interval.
 type Watcher struct {
 	s        *Server
 	path     string
@@ -26,9 +33,15 @@ type Watcher struct {
 	onEvent  func(path string, err error)
 
 	lastSig fileSig
+	errs    int // consecutive error polls, drives the backoff
+	looping bool
 	stop    chan struct{}
 	done    chan struct{}
 }
+
+// watchBackoffCap bounds the error backoff: the poll delay never exceeds
+// this multiple of the base interval.
+const watchBackoffCap = 64
 
 type fileSig struct {
 	mtime time.Time
@@ -45,6 +58,16 @@ type fileSig struct {
 // The file present at start counts as already served (the caller loaded it
 // to construct the Server), so the first tick does not re-swap it.
 func Watch(s *Server, path string, interval time.Duration, onEvent func(path string, err error)) *Watcher {
+	w := newWatcher(s, path, interval, onEvent)
+	w.looping = true
+	go w.loop()
+	return w
+}
+
+// newWatcher builds a watcher without starting the poll loop. Tests (and
+// callers wanting synchronous control) drive Poll directly; everything else
+// uses Watch.
+func newWatcher(s *Server, path string, interval time.Duration, onEvent func(path string, err error)) *Watcher {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
@@ -56,8 +79,7 @@ func Watch(s *Server, path string, interval time.Duration, onEvent func(path str
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	w.lastSig = statSig(w.resolve())
-	go w.loop()
+	w.lastSig, _ = statSig(w.resolve())
 	return w
 }
 
@@ -74,17 +96,20 @@ func (w *Watcher) resolve() string {
 	return w.path
 }
 
-func statSig(path string) fileSig {
+// statSig returns the file's signature and whether the stat hit a real
+// error (anything but "does not exist": permission loss, I/O failure, a
+// path component turning into a file, ...).
+func statSig(path string) (fileSig, bool) {
 	fi, err := os.Stat(path)
 	if err != nil {
-		return fileSig{}
+		return fileSig{}, !os.IsNotExist(err)
 	}
-	return fileSig{mtime: fi.ModTime(), size: fi.Size(), ok: true}
+	return fileSig{mtime: fi.ModTime(), size: fi.Size(), ok: true}, false
 }
 
 func (w *Watcher) loop() {
 	defer close(w.done)
-	t := time.NewTicker(w.interval)
+	t := time.NewTimer(w.Delay())
 	defer t.Stop()
 	for {
 		select {
@@ -92,34 +117,70 @@ func (w *Watcher) loop() {
 			return
 		case <-t.C:
 			w.Poll()
+			t.Reset(w.Delay())
 		}
 	}
 }
 
+// Delay returns the current poll delay: the base interval, doubled per
+// consecutive error poll, capped at watchBackoffCap times the base.
+func (w *Watcher) Delay() time.Duration {
+	d := w.interval
+	for i := 0; i < w.errs && d < watchBackoffCap*w.interval; i++ {
+		d *= 2
+	}
+	if max := watchBackoffCap * w.interval; d > max {
+		d = max
+	}
+	return d
+}
+
 // Poll performs one check-and-maybe-swap cycle. It is what the background
 // loop runs each tick; tests and CLIs may call it directly for a
-// deterministic, synchronous check.
+// deterministic, synchronous check. The loop is single-threaded, so errs
+// and lastSig need no locking; external Poll callers (tests) are expected
+// to have stopped or not started the loop.
 func (w *Watcher) Poll() {
 	path := w.resolve()
-	sig := statSig(path)
+	sig, statErr := statSig(path)
+	if statErr {
+		w.recordError()
+		return
+	}
 	if !sig.ok || sig == w.lastSig {
+		// Nothing new; a quiet poll clears any error backoff.
+		w.errs = 0
 		return
 	}
 	// Record the signature before the attempt: a rejected file is not
 	// retried until it changes again.
 	w.lastSig = sig
 	err := w.s.SwapFrom(path)
+	if err != nil {
+		w.recordError()
+	} else {
+		w.errs = 0
+	}
 	if w.onEvent != nil {
 		w.onEvent(path, err)
 	}
 }
 
+func (w *Watcher) recordError() {
+	w.errs++
+	if w.s != nil && w.s.reg.Enabled() {
+		w.s.reg.Counter(MetricWatchErrors).Inc()
+	}
+}
+
 // Close stops the polling loop and waits for it to exit. Safe to call once
-// per watcher; nil-safe.
+// per watcher; nil-safe; a no-op on a loop-less watcher.
 func (w *Watcher) Close() {
 	if w == nil {
 		return
 	}
 	close(w.stop)
-	<-w.done
+	if w.looping {
+		<-w.done
+	}
 }

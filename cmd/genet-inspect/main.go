@@ -8,6 +8,13 @@
 //
 //	genet-inspect RUNDIR            # summarize one run
 //	genet-inspect RUNDIR1 RUNDIR2   # diff two runs
+//	genet-inspect -serve RUNDIR     # summarize a genet-serve -rundir run
+//
+// -serve reads the serving artifacts instead: the access log's outcome
+// breakdown (reconciled exactly against the final counter snapshot — any
+// disagreement is an error), per-model-version latency, the SLO burn-rate
+// timeline, the -slow N slowest traces resolved to their recorded spans,
+// and the decide histogram's p99 exemplar resolved the same way.
 //
 // Exit status is 0 when every named run directory is complete and
 // parseable, non-zero otherwise — the CI obs job uses it as the
@@ -30,14 +37,19 @@ import (
 
 func main() {
 	fleetMode := flag.Bool("fleet", false, "arguments are fleet summary.json files: summarize one, or gate the second against the first (golden)")
+	serveMode := flag.Bool("serve", false, "argument is a genet-serve -rundir directory: outcome breakdown, reconciliation, burn-rate timeline, slowest traces")
+	slowN := flag.Int("slow", 10, "-serve: how many slowest traces to resolve")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: genet-inspect RUNDIR [RUNDIR2]")
 		fmt.Fprintln(os.Stderr, "       genet-inspect -fleet SUMMARY.json [GOLDEN-first gate: SUMMARY2.json]")
+		fmt.Fprintln(os.Stderr, "       genet-inspect -serve [-slow N] RUNDIR")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	var err error
 	switch {
+	case *serveMode && flag.NArg() == 1:
+		err = serveSummarize(os.Stdout, flag.Arg(0), *slowN)
 	case *fleetMode && flag.NArg() == 1:
 		err = fleetSummarize(os.Stdout, flag.Arg(0))
 	case *fleetMode && flag.NArg() == 2:

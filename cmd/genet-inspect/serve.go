@@ -1,0 +1,273 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/genet-go/genet/internal/obs"
+	"github.com/genet-go/genet/internal/serve"
+	"github.com/genet-go/genet/internal/stats"
+)
+
+// serveSummarize prints the serving view of a genet-serve -rundir directory:
+// the outcome breakdown reconciled exactly against the final counter
+// snapshot, per-model-version latency, the SLO burn-rate timeline
+// reconstructed from access-log timestamps, the slowest traces resolved to
+// their recorded spans, and the p99 histogram exemplar resolved the same way.
+// A reconciliation mismatch is an error (non-zero exit): the access log and
+// the counters are two independent records of the same requests, so any
+// disagreement means a request was dropped or double-counted somewhere.
+func serveSummarize(w io.Writer, dir string, slowN int) error {
+	r, err := load(dir)
+	if err != nil {
+		return err
+	}
+	recs, err := serve.ReadAccessLog(filepath.Join(dir, obs.AccessLogFile))
+	if err != nil {
+		return fmt.Errorf("run dir %s: %s: %w", dir, obs.AccessLogFile, err)
+	}
+
+	fmt.Fprintf(w, "serve run %s\n", dir)
+	fmt.Fprintf(w, "  tool %s (%s), usecase %s, outcome %s\n",
+		r.man.Tool, r.man.Strategy, r.man.UseCase, r.man.Outcome)
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "  no requests logged")
+		fmt.Fprintln(w, "  p99 exemplar: no requests")
+		return nil
+	}
+	span := recs[len(recs)-1].TS - recs[0].TS
+	fmt.Fprintf(w, "  %d requests over %.1fs\n", len(recs), span)
+
+	byOutcome := map[string][]float64{}
+	byVersion := map[uint64][]float64{}
+	for _, rec := range recs {
+		byOutcome[rec.Outcome] = append(byOutcome[rec.Outcome], rec.LatSec)
+		byVersion[rec.Version] = append(byVersion[rec.Version], rec.LatSec)
+	}
+
+	fmt.Fprintln(w, "\noutcomes")
+	for _, o := range []string{serve.OutcomeOK, serve.OutcomeFallback, serve.OutcomeShed, serve.OutcomeDeadline, serve.OutcomeError} {
+		lats := byOutcome[o]
+		if len(lats) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s %7d (%5.1f%%)  p50 %8.3fms  p99 %8.3fms  max %8.3fms\n",
+			o, len(lats), 100*float64(len(lats))/float64(len(recs)),
+			stats.Percentile(lats, 50)*1e3, stats.Percentile(lats, 99)*1e3, stats.Percentile(lats, 100)*1e3)
+	}
+	for o := range byOutcome {
+		switch o {
+		case serve.OutcomeOK, serve.OutcomeFallback, serve.OutcomeShed, serve.OutcomeDeadline, serve.OutcomeError:
+		default:
+			return fmt.Errorf("access log contains unknown outcome class %q", o)
+		}
+	}
+
+	if r.final != nil {
+		if err := reconcile(w, byOutcome, r.final.Counters); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(w, "\nreconcile: no final snapshot (run died before the exit path); skipped")
+	}
+
+	fmt.Fprintln(w, "\nlatency by model version")
+	versions := make([]uint64, 0, len(byVersion))
+	for v := range byVersion {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	for _, v := range versions {
+		lats := byVersion[v]
+		name := fmt.Sprintf("v%d", v)
+		if v == 0 {
+			// Version 0 lines are requests rejected before a model was
+			// consulted (bad bodies, sheds at the door).
+			name = "pre-model"
+		}
+		fmt.Fprintf(w, "  %-9s %7d  p50 %8.3fms  p99 %8.3fms\n",
+			name, len(lats), stats.Percentile(lats, 50)*1e3, stats.Percentile(lats, 99)*1e3)
+	}
+
+	burnTimeline(w, recs, sloTargets(r.man.Flags))
+
+	spansByTrace := indexSpans(r.trace)
+	slowest(w, recs, spansByTrace, slowN)
+	exemplar(w, r, recs, spansByTrace)
+	return nil
+}
+
+// reconcile asserts the access log's per-outcome counts against the server's
+// counters — the two must agree exactly (see the outcome taxonomy in
+// internal/serve/observe.go).
+func reconcile(w io.Writer, byOutcome map[string][]float64, counters map[string]int64) error {
+	n := func(o string) int64 { return int64(len(byOutcome[o])) }
+	checks := []struct {
+		name    string
+		logged  int64
+		counted int64
+	}{
+		{"ok+fallback vs decisions_total", n(serve.OutcomeOK) + n(serve.OutcomeFallback), counters[serve.MetricDecisions]},
+		{"fallback vs fallback_decisions_total", n(serve.OutcomeFallback), counters[serve.MetricFallbacks]},
+		{"shed vs shed_total", n(serve.OutcomeShed), counters[serve.MetricShed]},
+		{"deadline vs deadline_exceeded_total", n(serve.OutcomeDeadline), counters[serve.MetricDeadlineExceeded]},
+		{"error vs decide_errors+bad_requests", n(serve.OutcomeError), counters[serve.MetricDecideErrors] + counters[serve.MetricBadRequests]},
+	}
+	fmt.Fprintln(w, "\nreconcile access log vs counters")
+	for _, c := range checks {
+		if c.logged != c.counted {
+			return fmt.Errorf("reconcile %s: access log says %d, counters say %d", c.name, c.logged, c.counted)
+		}
+		fmt.Fprintf(w, "  %-40s %6d == %-6d ok\n", c.name, c.logged, c.counted)
+	}
+	return nil
+}
+
+// sloTargets recovers the SLO configuration the run was started with from
+// its manifest flags, falling back to the genet-serve defaults.
+func sloTargets(flags map[string]string) serve.SLOConfig {
+	cfg := serve.SLOConfig{AvailabilityTarget: 0.999, LatencyTarget: 0.99, LatencyThreshold: 250 * time.Millisecond}
+	if v, err := strconv.ParseFloat(flags["slo-availability"], 64); err == nil {
+		cfg.AvailabilityTarget = v
+	}
+	if v, err := strconv.ParseFloat(flags["slo-latency-target"], 64); err == nil {
+		cfg.LatencyTarget = v
+	}
+	if d, err := time.ParseDuration(flags["slo-latency-threshold"]); err == nil {
+		cfg.LatencyThreshold = d
+	}
+	return cfg
+}
+
+// burnTimeline replays the access log through the SLO math in fixed buckets,
+// so a burst of sheds or a latency regression shows up as the exact window
+// where the burn rate crossed 1.0 (the "spending error budget faster than
+// sustainable" line).
+func burnTimeline(w io.Writer, recs []serve.AccessRecord, cfg serve.SLOConfig) {
+	const buckets = 10
+	lo, hi := recs[0].TS, recs[len(recs)-1].TS
+	width := (hi - lo) / buckets
+	if width <= 0 {
+		width = 1
+	}
+	type bucket struct{ total, served, slow int }
+	bs := make([]bucket, buckets)
+	for _, rec := range recs {
+		i := int((rec.TS - lo) / width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		bs[i].total++
+		if rec.Outcome == serve.OutcomeOK || rec.Outcome == serve.OutcomeFallback {
+			bs[i].served++
+			if rec.LatSec > cfg.LatencyThreshold.Seconds() {
+				bs[i].slow++
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nburn-rate timeline (%.1fs buckets, availability target %.4g, latency target %.4g @ %s)\n",
+		width, cfg.AvailabilityTarget, cfg.LatencyTarget, cfg.LatencyThreshold)
+	for i, b := range bs {
+		if b.total == 0 {
+			continue
+		}
+		availBurn := (float64(b.total-b.served) / float64(b.total)) / (1 - cfg.AvailabilityTarget)
+		latBurn := 0.0
+		if b.served > 0 {
+			latBurn = (float64(b.slow) / float64(b.served)) / (1 - cfg.LatencyTarget)
+		}
+		mark := ""
+		if availBurn > 1 || latBurn > 1 {
+			mark = "  <- burning"
+		}
+		fmt.Fprintf(w, "  t+%6.1fs  %6d req  avail burn %6.2f  latency burn %6.2f%s\n",
+			lo+float64(i)*width, b.total, availBurn, latBurn, mark)
+	}
+}
+
+// indexSpans groups the span trace's complete events by the trace ID they
+// carry in args, so a trace ID from the access log or a histogram exemplar
+// resolves to the spans recorded for that request.
+func indexSpans(tf obs.TraceFile) map[obs.TraceID][]obs.TraceEvent {
+	byTrace := map[obs.TraceID][]obs.TraceEvent{}
+	for _, ev := range tf.TraceEvents {
+		v, ok := ev.Args[obs.ArgTrace]
+		if !ok {
+			continue
+		}
+		tid := obs.TraceIDFromFloat(v)
+		if tid == 0 {
+			continue
+		}
+		byTrace[tid] = append(byTrace[tid], ev)
+	}
+	return byTrace
+}
+
+func slowest(w io.Writer, recs []serve.AccessRecord, spansByTrace map[obs.TraceID][]obs.TraceEvent, n int) {
+	sorted := append([]serve.AccessRecord(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].LatSec > sorted[j].LatSec })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	fmt.Fprintf(w, "\nslowest %d traces\n", n)
+	for _, rec := range sorted[:n] {
+		line := fmt.Sprintf("  %s  %-9s %8.3fms  v%d", rec.Trace, rec.Outcome, rec.LatSec*1e3, rec.Version)
+		if spans := spansByTrace[rec.Trace]; len(spans) > 0 {
+			line += fmt.Sprintf("  spans: %s", spanNames(spans))
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// exemplar resolves the p99 bucket's exemplar trace ID from the final decide
+// histogram back to its access-log line and recorded spans — the check that
+// "slow according to the histogram" links to a concrete, inspectable request.
+func exemplar(w io.Writer, r *run, recs []serve.AccessRecord, spansByTrace map[obs.TraceID][]obs.TraceEvent) {
+	if r.final == nil {
+		fmt.Fprintln(w, "\np99 exemplar: no final snapshot")
+		return
+	}
+	h, ok := r.final.Histograms[serve.MetricDecideSeconds]
+	if !ok {
+		fmt.Fprintln(w, "\np99 exemplar: no decide histogram in snapshot")
+		return
+	}
+	tid := obs.TraceID(h.ExemplarNear(0.99))
+	if tid == 0 {
+		fmt.Fprintln(w, "\np99 exemplar: none recorded (trace sampling off?)")
+		return
+	}
+	var rec *serve.AccessRecord
+	for i := range recs {
+		if recs[i].Trace == tid {
+			rec = &recs[i]
+			break
+		}
+	}
+	if rec == nil {
+		fmt.Fprintf(w, "\np99 exemplar trace %s: not present in access log\n", tid)
+		return
+	}
+	fmt.Fprintf(w, "\np99 exemplar trace %s: %s %.3fms v%d, %d spans",
+		tid, rec.Outcome, rec.LatSec*1e3, rec.Version, len(spansByTrace[tid]))
+	if spans := spansByTrace[tid]; len(spans) > 0 {
+		fmt.Fprintf(w, " (%s)", spanNames(spans))
+	}
+	fmt.Fprintln(w)
+}
+
+func spanNames(spans []obs.TraceEvent) string {
+	names := ""
+	for i, sp := range spans {
+		if i > 0 {
+			names += ","
+		}
+		names += sp.Name
+	}
+	return names
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/genet-go/genet/internal/abr"
+	"github.com/genet-go/genet/internal/ckpt"
+	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
+	"github.com/genet-go/genet/internal/rl"
+	"github.com/genet-go/genet/internal/serve"
+)
+
+// writeServeRunDir builds a complete genet-serve run directory the way
+// genet-serve -rundir does: an instrumented server handles a mix of ok and
+// failing requests, then every artifact is flushed and the manifest stamped.
+func writeServeRunDir(t *testing.T, dir string) {
+	t.Helper()
+	if err := obs.CreateRunDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, obs.ModelFile)
+	agent, err := rl.NewDiscreteAgent(
+		rl.DefaultDiscreteConfig(abr.ObsSize, len(abr.DefaultBitratesKbps)),
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.AtomicWriteFile(modelPath, agent.Save); err != nil {
+		t.Fatal(err)
+	}
+	m, err := serve.LoadModel("abr", modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sink, err := metrics.FileSink(filepath.Join(dir, obs.EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSink(sink)
+	s, err := serve.New("abr", m, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alog, err := serve.OpenAccessLog(filepath.Join(dir, obs.AccessLogFile), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	s.Instrument(serve.NewObserver(serve.ObserverConfig{
+		Recorder:    rec,
+		AccessLog:   alog,
+		SLO:         serve.NewSLOTracker(serve.SLOConfig{}),
+		SampleEvery: 1,
+		Seed:        7,
+	}))
+
+	obsVec := make([]float64, abr.ObsSize)
+	for i := 0; i < 40; i++ {
+		if _, err := s.Decide(obsVec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Decide([]float64{1}); err == nil {
+			t.Fatal("short observation should fail")
+		}
+	}
+
+	reg.EmitSnapshot()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteTraceFile(filepath.Join(dir, obs.SpansFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := alog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteManifest(dir, obs.Manifest{
+		Tool: "genet-serve", UseCase: "abr", Strategy: "serve", Seed: 7,
+		GoVersion: runtime.Version(),
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Outcome:   obs.OutcomeCompleted,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeSummarize(t *testing.T) {
+	dir := t.TempDir()
+	writeServeRunDir(t, dir)
+
+	var buf strings.Builder
+	if err := serveSummarize(&buf, dir, 5); err != nil {
+		t.Fatalf("serveSummarize: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ok\s+40 \(`,
+		`error\s+3 \(`,
+	} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Errorf("output missing pattern %q\n%s", want, out)
+		}
+	}
+	for _, want := range []string{
+		"43 requests",
+		"ok+fallback vs decisions_total",
+		"burn-rate timeline",
+		"slowest 5 traces",
+		"p99 exemplar trace",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Every decide was sampled, so the slowest traces must resolve to spans.
+	if !strings.Contains(out, "serve/decide") {
+		t.Errorf("no span resolution in output\n%s", out)
+	}
+}
+
+// TestServeSummarizeDetectsMismatch: an access-log line the counters never
+// saw must fail reconciliation — the two records are only trustworthy
+// because the inspector refuses to summarize them when they disagree.
+func TestServeSummarizeDetectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	writeServeRunDir(t, dir)
+
+	f, err := os.OpenFile(filepath.Join(dir, obs.AccessLogFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, _ := json.Marshal(serve.AccessRecord{TS: 99, Trace: 1, Outcome: serve.OutcomeOK, UseCase: "abr", Version: 1})
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf strings.Builder
+	err = serveSummarize(&buf, dir, 5)
+	if err == nil || !strings.Contains(err.Error(), "reconcile") {
+		t.Fatalf("want reconcile error, got %v", err)
+	}
+}

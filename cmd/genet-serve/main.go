@@ -72,6 +72,15 @@ func main() {
 		spike       = flag.Duration("spike", 50*time.Millisecond, "stall injected when decide-latency fires")
 		drain       = flag.Duration("drain", 10*time.Second, "bound on the SIGINT graceful drain before abandoning in-flight requests")
 
+		runDir      = flag.String("rundir", "", "write the standard run artifacts (manifest.json, events.jsonl, spans.trace.json, access.jsonl) into this directory and enable request-level observability")
+		traceSample = flag.Int("trace-sample", serve.DefaultSampleEvery, "record spans for every Nth request (1 = all)")
+		obsSeed     = flag.Uint64("trace-seed", 1, "seed for server-side trace-ID minting")
+		accessMaxMB = flag.Int64("access-max-mb", 64, "access log rotation bound per file, in MiB")
+		accessKeep  = flag.Int("access-keep", 3, "rotated access-log files to retain")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability SLO target (fraction of requests served)")
+		sloLatPct   = flag.Float64("slo-latency-target", 0.99, "latency SLO target (fraction of served requests under the threshold)")
+		sloLatThr   = flag.Duration("slo-latency-threshold", 250*time.Millisecond, "latency SLO threshold")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen: base URL of a running genet-serve (default: serve -model in-process)")
 		sessions = flag.Int("sessions", 100, "loadgen closed loop: number of simulated sessions")
@@ -93,6 +102,19 @@ func main() {
 		fatal(err)
 	}
 
+	oa := obsArgs{
+		runDir:      *runDir,
+		sampleEvery: *traceSample,
+		seed:        *obsSeed,
+		accessMax:   *accessMaxMB << 20,
+		accessKeep:  *accessKeep,
+		slo: serve.SLOConfig{
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatPct,
+			LatencyThreshold:   *sloLatThr,
+		},
+	}
+
 	if *loadgen {
 		lg := loadGenArgs{
 			useCase: *useCase, modelPath: *modelPath, target: *target,
@@ -100,7 +122,7 @@ func main() {
 			seed: *seed, level: *level,
 			arrival: *arrival, rate: *rate, requests: *requests,
 			sweep: *sweep, report: *report, deadline: *deadline,
-			breaker: *breaker, inj: inj,
+			breaker: *breaker, inj: inj, obs: oa,
 		}
 		if err := runLoadGen(lg); err != nil {
 			fatal(err)
@@ -109,6 +131,7 @@ func main() {
 	}
 	sc := serveArgs{
 		useCase: *useCase, modelPath: *modelPath, addr: *addr, watchIvl: *watchIvl,
+		obs: oa,
 		robust: serve.RobustnessOptions{
 			MaxInflight: *maxInflight,
 			ShedWait:    *shedWait,
@@ -133,6 +156,7 @@ type serveArgs struct {
 	watchIvl                 time.Duration
 	robust                   serve.RobustnessOptions
 	drain                    time.Duration
+	obs                      obsArgs
 }
 
 func runServe(a serveArgs) error {
@@ -152,6 +176,13 @@ func runServe(a serveArgs) error {
 	s.Configure(a.robust)
 	if a.robust.Injector != nil {
 		fmt.Fprintf(os.Stderr, "genet-serve: chaos: injecting faults (%s)\n", a.robust.Injector)
+	}
+	st, err := setupObs(a.obs, "serve", a.useCase, int64(a.obs.seed), reg)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		s.Instrument(st.observer)
 	}
 
 	srv, err := obs.StartHandler(a.addr, serve.NewHandler(s), func(err error) {
@@ -192,9 +223,12 @@ func runServe(a serveArgs) error {
 		// drain is bounded, and what it abandons is on the record.
 		fmt.Fprintf(os.Stderr, "genet-serve: drain deadline hit, abandoning %d in-flight requests: %v\n",
 			s.Inflight(), err)
-		return srv.Close()
+		cerr := srv.Close()
+		st.finalize(obs.OutcomeInterrupted)
+		return cerr
 	}
 	fmt.Println("genet-serve: drained clean")
+	st.finalize(obs.OutcomeCompleted)
 	return nil
 }
 
@@ -210,6 +244,7 @@ type loadGenArgs struct {
 	deadline                   time.Duration
 	breaker                    int
 	inj                        *faults.Injector
+	obs                        obsArgs
 }
 
 func runLoadGen(a loadGenArgs) error {
@@ -217,25 +252,27 @@ func runLoadGen(a loadGenArgs) error {
 	if err != nil {
 		return err
 	}
+	reg := metrics.NewRegistry()
 	var (
 		dec serve.Decider
 		srv *serve.Server
+		cli *serve.Client
 	)
 	switch {
 	case a.target != "":
-		c := serve.NewClientSeeded(a.target, a.seed)
-		c.Injector = a.inj
+		cli = serve.NewClientSeeded(a.target, a.seed)
+		cli.Injector = a.inj
 		if a.breaker != 0 {
-			c.BreakerThreshold = a.breaker
+			cli.BreakerThreshold = a.breaker
 		}
-		dec = c
+		dec = cli
 		fmt.Printf("genet-serve: loadgen against %s\n", a.target)
 	case a.modelPath != "":
 		m, err := serve.LoadModel(a.useCase, resolveModelPath(a.modelPath))
 		if err != nil {
 			return err
 		}
-		srv, err = serve.New(a.useCase, m, metrics.NewRegistry())
+		srv, err = serve.New(a.useCase, m, reg)
 		if err != nil {
 			return err
 		}
@@ -245,6 +282,33 @@ func runLoadGen(a loadGenArgs) error {
 		return fmt.Errorf("-loadgen needs -model or -target")
 	}
 
+	st, err := setupObs(a.obs, "loadgen", a.useCase, a.seed, reg)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		// In-process: the server observes every request end to end. Against a
+		// remote target only the client side is local, so the run directory
+		// captures attempt/backoff/breaker spans rather than an access log.
+		if srv != nil {
+			srv.Instrument(st.observer)
+		}
+		if cli != nil {
+			cli.Recorder = st.rec
+		}
+	}
+	runErr := driveLoad(dec, srv, a, lvl)
+	if st != nil {
+		outcome := obs.OutcomeCompleted
+		if runErr != nil {
+			outcome = obs.OutcomeFailed
+		}
+		st.finalize(outcome)
+	}
+	return runErr
+}
+
+func driveLoad(dec serve.Decider, srv *serve.Server, a loadGenArgs, lvl env.RangeLevel) error {
 	if a.arrival != "closed" || a.sweep != "" {
 		return runOpenLoop(dec, a, lvl)
 	}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	h := newHistogram()
+	// A fast bulk and one slow outlier carrying an exemplar.
+	for i := 0; i < 99; i++ {
+		h.Observe(0.001)
+	}
+	h.ObserveExemplar(4.0, 0xabc)
+
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	// The p99 exemplar must resolve to the slow request's trace.
+	if got := s.ExemplarNear(0.99); got != 0xabc {
+		t.Fatalf("ExemplarNear(0.99) = %#x, want 0xabc", got)
+	}
+	// The p50 bucket has no exemplar; the nearest (the outlier) is returned
+	// rather than nothing.
+	if got := s.ExemplarNear(0.50); got != 0xabc {
+		t.Fatalf("ExemplarNear(0.50) = %#x, want nearest 0xabc", got)
+	}
+
+	// Last writer wins within a bucket.
+	h.ObserveExemplar(4.0, 0xdef)
+	if got := h.snapshot().ExemplarNear(0.99); got != 0xdef {
+		t.Fatalf("exemplar not refreshed: %#x", got)
+	}
+}
+
+func TestExemplarNearEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.ExemplarNear(0.99) != 0 {
+		t.Fatal("empty snapshot returned an exemplar")
+	}
+	h := newHistogram()
+	h.Observe(1)
+	if got := h.snapshot().ExemplarNear(0.99); got != 0 {
+		t.Fatalf("exemplar-free histogram returned %#x", got)
+	}
+}
+
+// TestExemplarFreeSnapshotsUnchanged pins the compatibility contract: paths
+// that never record exemplars (all of training) marshal byte-identically to
+// the pre-exemplar snapshot format, so goldens and fleet aggregates are
+// unaffected.
+func TestExemplarFreeSnapshotsUnchanged(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0.5)
+	data, err := json.Marshal(h.snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "\"ex\"") {
+		t.Fatalf("exemplar-free snapshot leaks an ex field: %s", data)
+	}
+}

@@ -277,6 +277,11 @@ type Histogram struct {
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
 	buckets [histBuckets]atomic.Int64
+	// exemplars holds, per bucket, the most recent exemplar reference (a
+	// trace ID) recorded with ObserveExemplar — the join key that turns "the
+	// p99 bucket has 17 observations" into "here is a concrete request to
+	// look at". Zero = no exemplar.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 func newHistogram() *Histogram {
@@ -287,7 +292,14 @@ func newHistogram() *Histogram {
 }
 
 // Observe records one value. NaN observations are dropped.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one value and, when ex is non-zero, stamps it as
+// the bucket's exemplar (last writer wins — recency is the useful property
+// for "show me a slow request"). The exemplar store is one atomic write, so
+// the hot-path cost over Observe is negligible and the disabled form
+// (ex == 0) is identical to Observe.
+func (h *Histogram) ObserveExemplar(v float64, ex uint64) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
@@ -317,7 +329,11 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
-	h.buckets[bucketOf(v)].Add(1)
+	b := bucketOf(v)
+	h.buckets[b].Add(1)
+	if ex != 0 {
+		h.exemplars[b].Store(ex)
+	}
 }
 
 // bucketOf maps v to its power-of-two bucket index.
@@ -348,6 +364,10 @@ func bucketOf(v float64) int {
 type BucketCount struct {
 	UB    float64 `json:"ub"`
 	Count int64   `json:"n"`
+	// Ex is the bucket's most recent exemplar reference (a trace ID), zero
+	// when none was recorded. omitempty keeps snapshots from uninstrumented
+	// paths byte-identical to the pre-exemplar format.
+	Ex uint64 `json:"ex,omitempty"`
 }
 
 // HistogramSnapshot is the JSON form of a histogram.
@@ -377,10 +397,47 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, BucketCount{
 				UB:    math.Pow(2, float64(i-histZero)),
 				Count: n,
+				Ex:    h.exemplars[i].Load(),
 			})
 		}
 	}
 	return s
+}
+
+// ExemplarNear returns the exemplar reference closest to the q-th quantile:
+// the exemplar of the bucket holding the quantile rank, or — because not
+// every observation carries an exemplar — the nearest bucket that has one
+// (preferring higher buckets, where the interesting tail lives). Zero when
+// the histogram holds no exemplars at all.
+func (h HistogramSnapshot) ExemplarNear(q float64) uint64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	target := len(h.Buckets) - 1
+	var cum int64
+	for i, b := range h.Buckets {
+		cum += b.Count
+		if float64(cum) >= rank {
+			target = i
+			break
+		}
+	}
+	for d := 0; d < len(h.Buckets); d++ {
+		if i := target + d; i < len(h.Buckets) && h.Buckets[i].Ex != 0 {
+			return h.Buckets[i].Ex
+		}
+		if i := target - d; d > 0 && i >= 0 && h.Buckets[i].Ex != 0 {
+			return h.Buckets[i].Ex
+		}
+	}
+	return 0
 }
 
 // Quantile estimates the q-th quantile (0 <= q <= 1) of the observations

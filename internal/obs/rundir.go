@@ -18,6 +18,9 @@ const (
 	SpansFile      = "spans.trace.json"
 	CheckpointFile = "checkpoint.ckpt"
 	ModelFile      = "model.bin"
+	// AccessLogFile is the serving access log (one JSONL line per request);
+	// genet-serve -rundir writes it, genet-inspect -serve reads it.
+	AccessLogFile = "access.jsonl"
 )
 
 // Manifest outcome values. Producers write OutcomeRunning when a run

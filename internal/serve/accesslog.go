@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+// Outcome classes for access-log lines. Each class mirrors exactly one
+// metric-counter bucket so a finished run reconciles line-for-line against
+// /metrics: ok+fallback == decisions_total, fallback == fallback_decisions,
+// shed == shed_total, deadline == deadline_exceeded_total, and error ==
+// decide_errors_total + bad_requests_total.
+const (
+	OutcomeOK       = "ok"
+	OutcomeShed     = "shed"
+	OutcomeDeadline = "deadline"
+	OutcomeFallback = "fallback"
+	OutcomeError    = "error"
+)
+
+// AccessRecord is one access-log line: the request-granularity record that
+// joins the latency histogram (via exemplars) and the span trace (via the
+// trace ID) to a concrete outcome.
+type AccessRecord struct {
+	TS      float64     `json:"ts"` // seconds since the log was opened
+	Trace   obs.TraceID `json:"trace"`
+	Outcome string      `json:"outcome"`
+	UseCase string      `json:"usecase"`
+	Version uint64      `json:"ver"`
+	LatSec  float64     `json:"lat_s"`
+	Attempt int         `json:"attempt,omitempty"` // client retry index, when propagated
+	Err     string      `json:"err,omitempty"`
+}
+
+// AccessLog is a bounded, rotating JSONL log. Writes are serialized so a line
+// is always written whole (no torn lines under concurrency), and rotation
+// happens exactly at line boundaries: a record never spans two files.
+//
+// Rotation shifts path -> path.1 -> ... -> path.N, dropping the oldest.
+type AccessLog struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	path     string
+	size     int64
+	maxBytes int64
+	keep     int
+	lines    int64
+}
+
+const (
+	defaultAccessLogMaxBytes = 64 << 20
+	defaultAccessLogKeep     = 3
+)
+
+// OpenAccessLog opens (truncating) a rotating access log at path. maxBytes
+// bounds each file (<=0 means the 64 MiB default); keep is how many rotated
+// files to retain (<=0 means 3).
+func OpenAccessLog(path string, maxBytes int64, keep int) (*AccessLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultAccessLogMaxBytes
+	}
+	if keep <= 0 {
+		keep = defaultAccessLogKeep
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessLog{
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<16),
+		path:     path,
+		maxBytes: maxBytes,
+		keep:     keep,
+	}, nil
+}
+
+// Write appends one record as a single JSONL line, rotating first if the line
+// would push the current file past the byte bound.
+func (l *AccessLog) Write(rec AccessRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("serve: access log closed")
+	}
+	if l.size > 0 && l.size+int64(len(data)) > l.maxBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.w.Write(data); err != nil {
+		return err
+	}
+	l.size += int64(len(data))
+	l.lines++
+	return nil
+}
+
+// rotateLocked closes the live file and shifts the rotation chain. Caller
+// holds l.mu.
+func (l *AccessLog) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	// Shift path.(keep-1) -> path.keep, ..., path -> path.1. Renames of
+	// missing files early in the chain are fine.
+	os.Remove(rotatedPath(l.path, l.keep))
+	for i := l.keep - 1; i >= 1; i-- {
+		os.Rename(rotatedPath(l.path, i), rotatedPath(l.path, i+1))
+	}
+	if err := os.Rename(l.path, rotatedPath(l.path, 1)); err != nil {
+		return err
+	}
+	f, err := os.Create(l.path)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.size = 0
+	return nil
+}
+
+func rotatedPath(path string, i int) string {
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+// Lines reports how many records have been written across all files.
+func (l *AccessLog) Lines() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lines
+}
+
+// Sync flushes buffered lines to the OS.
+func (l *AccessLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the live file. Further writes fail.
+func (l *AccessLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	l.w = nil
+	return err
+}
+
+// ReadAccessLog reads every record written to a rotating log, oldest first:
+// the deepest rotated file through the live file. A missing rotated file is
+// skipped (dropped by the retention bound); a malformed line is an error.
+func ReadAccessLog(path string) ([]AccessRecord, error) {
+	var recs []AccessRecord
+	// Rotated files beyond keep may exist from older configs; walk down until
+	// the first gap, then read in reverse (oldest first).
+	var chain []string
+	for i := 1; ; i++ {
+		p := rotatedPath(path, i)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		chain = append(chain, p)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := readAccessFile(chain[i], &recs); err != nil {
+			return nil, err
+		}
+	}
+	if err := readAccessFile(path, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func readAccessFile(path string, out *[]AccessRecord) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec AccessRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("serve: %s:%d: torn or malformed access line: %w", path, line, err)
+		}
+		*out = append(*out, rec)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/genet-go/genet/internal/obs"
+)
+
+func TestAccessLogConcurrentWrites(t *testing.T) {
+	// Small byte bound so rotation happens constantly under contention; the
+	// -race run plus the whole-line decode in ReadAccessLog together assert
+	// that no line is ever torn across goroutines or across a rotation.
+	path := filepath.Join(t.TempDir(), "access.jsonl")
+	log, err := OpenAccessLog(path, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := AccessRecord{
+					TS:      float64(i),
+					Trace:   obs.NewTraceID(uint64(w), uint64(i)),
+					Outcome: OutcomeOK,
+					UseCase: "abr",
+					Version: uint64(w),
+					LatSec:  0.001,
+					Err:     strings.Repeat("x", i%40), // vary line length
+				}
+				if err := log.Write(rec); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.Lines(); got != writers*perWriter {
+		t.Fatalf("Lines() = %d, want %d", got, writers*perWriter)
+	}
+	recs, err := ReadAccessLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*perWriter {
+		t.Fatalf("read %d records, want %d", len(recs), writers*perWriter)
+	}
+	// Every minted trace must come back exactly once.
+	seen := map[obs.TraceID]int{}
+	for _, r := range recs {
+		seen[r.Trace]++
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			id := obs.NewTraceID(uint64(w), uint64(i))
+			if seen[id] != 1 {
+				t.Fatalf("trace %v appeared %d times", id, seen[id])
+			}
+		}
+	}
+}
+
+func TestAccessLogRotationBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.jsonl")
+	log, err := OpenAccessLog(path, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := log.Write(AccessRecord{TS: float64(i), Outcome: OutcomeShed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact boundary: every file must parse line-by-line with no partial
+	// trailing record, and no file may exceed the byte bound.
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("expected rotated file %s: %v", p, err)
+		}
+		if len(data) > 256 {
+			t.Fatalf("%s is %d bytes, exceeds bound", p, len(data))
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			t.Fatalf("%s ends mid-line", p)
+		}
+	}
+	// Retention dropped the oldest files; the survivors read oldest-first
+	// with strictly increasing timestamps.
+	recs, err := ReadAccessLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= 40 {
+		t.Fatalf("retention kept %d of 40 records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TS <= recs[i-1].TS {
+			t.Fatalf("records out of order at %d: %v then %v", i, recs[i-1].TS, recs[i].TS)
+		}
+	}
+	if recs[len(recs)-1].TS != 39 {
+		t.Fatalf("latest record lost: last TS = %v", recs[len(recs)-1].TS)
+	}
+}
+
+func TestAccessLogClosedWriteFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.jsonl")
+	log, err := OpenAccessLog(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Write(AccessRecord{}); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReadAccessLogRejectsTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.jsonl")
+	torn := `{"ts":1,"trace":"0000000000001","outcome":"ok"}` + "\n" + `{"ts":2,"outc`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAccessLog(path); err == nil {
+		t.Fatal("torn line accepted")
+	} else if !strings.Contains(err.Error(), "torn or malformed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func BenchmarkAccessLogWrite(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "access.jsonl")
+	log, err := OpenAccessLog(path, 1<<30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	rec := AccessRecord{TS: 1, Trace: 12345, Outcome: OutcomeOK, UseCase: "abr", Version: 3, LatSec: 0.002}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := log.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/genet-go/genet/internal/faults"
+	"github.com/genet-go/genet/internal/obs"
 )
 
 // ErrBreakerOpen is returned by the client while its circuit breaker is
@@ -77,6 +79,12 @@ type Client struct {
 	// Injector arms the client-drop chaos site: a firing drops the
 	// attempt before it reaches the network, as a connection reset would.
 	Injector *faults.Injector
+
+	// Recorder receives client-side spans (attempts, backoff waits,
+	// breaker-open fast-fails), each tagged with the request's trace ID and
+	// attempt index. Nil (the default) records nothing at the usual
+	// nil-check cost.
+	Recorder *obs.Recorder
 
 	// clock is injectable for deterministic breaker tests.
 	clock func() time.Time
@@ -153,16 +161,38 @@ func (c *Client) Decide(obsVec []float64) (Decision, error) {
 // is closed. A non-200 response becomes a *StatusError carrying the
 // server's message, so dimension mismatches read the same whether the
 // decider is in-process or remote.
+//
+// Every request carries one trace ID end to end: the one already on ctx
+// (obs.WithTrace) or a freshly minted one. All retry attempts send it in
+// X-Genet-Trace with their attempt index in X-Genet-Attempt, so the
+// server's access log shows a retry storm as one trace with ascending
+// attempts, and client-side spans (attempt, backoff, breaker-open) attach
+// to the same trace as the server's spans.
 func (c *Client) DecideCtx(ctx context.Context, obsVec []float64) (Decision, error) {
 	body, err := json.Marshal(DecideRequest{Obs: obsVec})
 	if err != nil {
 		return Decision{}, fmt.Errorf("serve: encode request: %w", err)
 	}
+	tid := obs.TraceFrom(ctx)
+	if tid == 0 {
+		tid = c.mintTrace()
+	}
 	for attempt := 0; ; attempt++ {
 		if err := c.breakerAllow(); err != nil {
+			if c.Recorder.Enabled() {
+				c.Recorder.Instant("client/breaker_open",
+					obs.Arg{K: obs.ArgTrace, V: tid.Float()},
+					obs.Arg{K: obs.ArgAttempt, V: float64(attempt)})
+			}
 			return Decision{}, err
 		}
-		d, err, retryable := c.attempt(ctx, body)
+		sp := c.Recorder.StartOn(ClientSpanTrack, "client/attempt")
+		d, err, retryable := c.attempt(ctx, body, tid, attempt)
+		if c.Recorder.Enabled() {
+			sp.EndArgs(
+				obs.Arg{K: obs.ArgTrace, V: tid.Float()},
+				obs.Arg{K: obs.ArgAttempt, V: float64(attempt)})
+		}
 		if err == nil {
 			c.breakerSuccess()
 			return d, nil
@@ -171,20 +201,38 @@ func (c *Client) DecideCtx(ctx context.Context, obsVec []float64) (Decision, err
 		if !retryable || attempt >= c.maxRetries() {
 			return Decision{}, err
 		}
+		bsp := c.Recorder.StartOn(ClientSpanTrack, "client/backoff")
 		t := time.NewTimer(c.backoffDelay(attempt))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
+			if c.Recorder.Enabled() {
+				bsp.EndArgs(obs.Arg{K: obs.ArgTrace, V: tid.Float()})
+			}
 			return Decision{}, ctx.Err()
 		}
+		if c.Recorder.Enabled() {
+			bsp.EndArgs(obs.Arg{K: obs.ArgTrace, V: tid.Float()})
+		}
 	}
+}
+
+// mintTrace derives a fresh trace ID from the client's seeded jitter source,
+// so seeded clients mint reproducible traces.
+func (c *Client) mintTrace() obs.TraceID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	return obs.NewTraceID(c.rng.Uint64(), 1)
 }
 
 // attempt performs one request. The third return reports whether the
 // failure is retryable: transport errors, injected drops, 503 sheds, and
 // 504 deadlines are; context expiry and 4xx rejections are not.
-func (c *Client) attempt(ctx context.Context, body []byte) (Decision, error, bool) {
+func (c *Client) attempt(ctx context.Context, body []byte, tid obs.TraceID, attemptIdx int) (Decision, error, bool) {
 	if c.Injector.Fire(faults.ClientDrop) {
 		return Decision{}, fmt.Errorf("serve: %w", faults.Injected{Site: faults.ClientDrop}), true
 	}
@@ -193,6 +241,10 @@ func (c *Client) attempt(ctx context.Context, body []byte) (Decision, error, boo
 		return Decision{}, fmt.Errorf("serve: %w", err), false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tid != 0 {
+		req.Header.Set(TraceHeader, tid.String())
+		req.Header.Set(AttemptHeader, strconv.Itoa(attemptIdx))
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient

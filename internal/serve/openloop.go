@@ -6,15 +6,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/genet-go/genet/internal/abr"
 	"github.com/genet-go/genet/internal/cc"
 	"github.com/genet-go/genet/internal/env"
 	"github.com/genet-go/genet/internal/lb"
+	obslib "github.com/genet-go/genet/internal/obs"
 	"github.com/genet-go/genet/internal/stats"
 )
 
@@ -98,29 +99,53 @@ type OpenLoopConfig struct {
 	ObsPool int
 }
 
+// OutcomeLatency is the latency profile of one outcome class in an
+// open-loop run — what the tail is made of, class by class.
+type OutcomeLatency struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	P999  float64 `json:"p999_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// SlowRequest identifies one of the slowest offered requests: its trace ID
+// (resolvable against the server's access log and span trace), outcome, and
+// latency.
+type SlowRequest struct {
+	Trace   obslib.TraceID `json:"trace"`
+	Outcome string         `json:"outcome"`
+	LatSec  float64        `json:"lat_s"`
+}
+
 // OpenLoopReport is the outcome of one open-loop run: every offered
 // request is accounted to exactly one of OK, Shed, BreakerFast, Timeout, or
 // Errors; Torn counts responses that decoded but failed validation (the
-// count the chaos CI pins at zero). Latency percentiles cover successful
-// decisions only — shed requests fail in microseconds and would flatter the
-// tail.
+// count the chaos CI pins at zero). The headline latency percentiles cover
+// successful decisions only — shed requests fail in microseconds and would
+// flatter the tail; Outcomes breaks latency down per class so a sweep can
+// say what the tail is made of, and Slowest names the worst traces.
 type OpenLoopReport struct {
-	UseCase     string        `json:"usecase"`
-	Arrival     string        `json:"arrival"`
-	OfferedRate float64       `json:"offered_rate_per_sec"`
-	Requests    int           `json:"requests"`
-	OK          int64         `json:"ok"`
-	Shed        int64         `json:"shed"`
-	BreakerFast int64         `json:"breaker_fast_fail"`
-	Timeout     int64         `json:"timeout"`
-	Errors      int64         `json:"errors"`
-	Torn        int64         `json:"torn"`
-	Fallback    int64         `json:"fallback"`
-	Wall        time.Duration `json:"wall_ns"`
-	Goodput     float64       `json:"goodput_per_sec"`
-	P50         float64       `json:"p50_seconds"`
-	P90         float64       `json:"p90_seconds"`
-	P99         float64       `json:"p99_seconds"`
+	UseCase     string                    `json:"usecase"`
+	Arrival     string                    `json:"arrival"`
+	OfferedRate float64                   `json:"offered_rate_per_sec"`
+	Requests    int                       `json:"requests"`
+	OK          int64                     `json:"ok"`
+	Shed        int64                     `json:"shed"`
+	BreakerFast int64                     `json:"breaker_fast_fail"`
+	Timeout     int64                     `json:"timeout"`
+	Errors      int64                     `json:"errors"`
+	Torn        int64                     `json:"torn"`
+	Fallback    int64                     `json:"fallback"`
+	Wall        time.Duration             `json:"wall_ns"`
+	Goodput     float64                   `json:"goodput_per_sec"`
+	P50         float64                   `json:"p50_seconds"`
+	P90         float64                   `json:"p90_seconds"`
+	P99         float64                   `json:"p99_seconds"`
+	P999        float64                   `json:"p999_seconds"`
+	Max         float64                   `json:"max_seconds"`
+	Outcomes    map[string]OutcomeLatency `json:"outcomes,omitempty"`
+	Slowest     []SlowRequest             `json:"slowest,omitempty"`
 }
 
 // String renders the report as the one-line-per-fact block the CLI prints.
@@ -130,8 +155,16 @@ func (r OpenLoopReport) String() string {
 		r.UseCase, r.Arrival, r.OfferedRate, r.Requests)
 	fmt.Fprintf(&b, "  ok %d (%.0f/s goodput)  shed %d  breaker %d  timeout %d  errors %d  torn %d  fallback %d\n",
 		r.OK, r.Goodput, r.Shed, r.BreakerFast, r.Timeout, r.Errors, r.Torn, r.Fallback)
-	fmt.Fprintf(&b, "  latency p50 %.3fms  p90 %.3fms  p99 %.3fms",
-		r.P50*1e3, r.P90*1e3, r.P99*1e3)
+	fmt.Fprintf(&b, "  latency p50 %.3fms  p90 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms",
+		r.P50*1e3, r.P90*1e3, r.P99*1e3, r.P999*1e3, r.Max*1e3)
+	for _, class := range []string{OutcomeOK, OutcomeFallback, OutcomeShed, OutcomeDeadline, "breaker", OutcomeError} {
+		ol, present := r.Outcomes[class]
+		if !present || ol.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %-8s %6d  p50 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms",
+			class, ol.Count, ol.P50*1e3, ol.P99*1e3, ol.P999*1e3, ol.Max*1e3)
+	}
 	return b.String()
 }
 
@@ -269,11 +302,20 @@ func RunOpenLoop(d Decider, cfg OpenLoopConfig) (OpenLoopReport, error) {
 
 	cd, hasCtx := d.(ContextDecider)
 
-	var (
-		ok, shed, breaker, timeout, errOther, torn, fallback atomic.Int64
-		latMu                                                sync.Mutex
-		lats                                                 []float64
-	)
+	// Every offered request gets a deterministic trace ID from the run seed
+	// and carries it on its context, so when d is a *Server (or a *Client
+	// talking to one) the server's access log and span trace attribute each
+	// tail-latency contributor back to the exact offered request.
+	traceSeed := uint64(cfg.Seed) ^ 0x6f70656e4c6f6f70 // "openLoop"
+
+	// One slot per offered request: goroutines write disjoint indices, so
+	// accounting needs no locks and the post-processing sees every request.
+	type reqResult struct {
+		outcome string
+		lat     float64
+		trace   obslib.TraceID
+	}
+	results := make([]reqResult, requests)
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -283,11 +325,12 @@ func RunOpenLoop(d Decider, cfg OpenLoopConfig) (OpenLoopReport, error) {
 		if wait := schedule[i] - time.Since(start); wait > 0 {
 			time.Sleep(wait)
 		}
-		obs := pool[i%len(pool)]
+		obsVec := pool[i%len(pool)]
+		tid := obslib.NewTraceID(traceSeed, uint64(i)+1)
 		wg.Add(1)
-		go func() {
+		go func(i int, tid obslib.TraceID) {
 			defer wg.Done()
-			ctx := context.Background()
+			ctx := obslib.WithTrace(context.Background(), tid)
 			if cfg.Deadline > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
@@ -297,34 +340,32 @@ func RunOpenLoop(d Decider, cfg OpenLoopConfig) (OpenLoopReport, error) {
 			var dec Decision
 			var derr error
 			if hasCtx {
-				dec, derr = cd.DecideCtx(ctx, obs)
+				dec, derr = cd.DecideCtx(ctx, obsVec)
 			} else {
-				dec, derr = d.Decide(obs)
+				dec, derr = d.Decide(obsVec)
 			}
-			lat := time.Since(t0).Seconds()
+			res := reqResult{lat: time.Since(t0).Seconds(), trace: tid}
 			switch {
 			case derr == nil:
-				if !validDecision(uc, dec) {
-					torn.Add(1)
-					return
+				switch {
+				case !validDecision(uc, dec):
+					res.outcome = "torn"
+				case dec.Fallback:
+					res.outcome = OutcomeFallback
+				default:
+					res.outcome = OutcomeOK
 				}
-				if dec.Fallback {
-					fallback.Add(1)
-				}
-				ok.Add(1)
-				latMu.Lock()
-				lats = append(lats, lat)
-				latMu.Unlock()
 			case errors.Is(derr, ErrBreakerOpen):
-				breaker.Add(1)
+				res.outcome = "breaker"
 			case errors.Is(derr, ErrShed):
-				shed.Add(1)
+				res.outcome = OutcomeShed
 			case errors.Is(derr, context.DeadlineExceeded):
-				timeout.Add(1)
+				res.outcome = OutcomeDeadline
 			default:
-				errOther.Add(1)
+				res.outcome = OutcomeError
 			}
-		}()
+			results[i] = res
+		}(i, tid)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -334,25 +375,69 @@ func RunOpenLoop(d Decider, cfg OpenLoopConfig) (OpenLoopReport, error) {
 		Arrival:     string(arrival),
 		OfferedRate: cfg.RatePerSec,
 		Requests:    requests,
-		OK:          ok.Load(),
-		Shed:        shed.Load(),
-		BreakerFast: breaker.Load(),
-		Timeout:     timeout.Load(),
-		Errors:      errOther.Load(),
-		Torn:        torn.Load(),
-		Fallback:    fallback.Load(),
 		Wall:        wall,
+		Outcomes:    map[string]OutcomeLatency{},
+	}
+	perClass := map[string][]float64{}
+	var okLats []float64
+	for _, res := range results {
+		perClass[res.outcome] = append(perClass[res.outcome], res.lat)
+		switch res.outcome {
+		case OutcomeOK:
+			rep.OK++
+			okLats = append(okLats, res.lat)
+		case OutcomeFallback:
+			rep.OK++
+			rep.Fallback++
+			okLats = append(okLats, res.lat)
+		case OutcomeShed:
+			rep.Shed++
+		case "breaker":
+			rep.BreakerFast++
+		case OutcomeDeadline:
+			rep.Timeout++
+		case "torn":
+			rep.Torn++
+		default:
+			rep.Errors++
+		}
+	}
+	for class, lats := range perClass {
+		rep.Outcomes[class] = OutcomeLatency{
+			Count: int64(len(lats)),
+			P50:   stats.Percentile(lats, 50),
+			P99:   stats.Percentile(lats, 99),
+			P999:  stats.Percentile(lats, 99.9),
+			Max:   stats.Percentile(lats, 100),
+		}
 	}
 	if wall > 0 {
 		rep.Goodput = float64(rep.OK) / wall.Seconds()
 	}
-	if len(lats) > 0 {
-		rep.P50 = stats.Percentile(lats, 50)
-		rep.P90 = stats.Percentile(lats, 90)
-		rep.P99 = stats.Percentile(lats, 99)
+	if len(okLats) > 0 {
+		rep.P50 = stats.Percentile(okLats, 50)
+		rep.P90 = stats.Percentile(okLats, 90)
+		rep.P99 = stats.Percentile(okLats, 99)
+		rep.P999 = stats.Percentile(okLats, 99.9)
+		rep.Max = stats.Percentile(okLats, 100)
+	}
+	// Slowest offered requests across all outcome classes, worst first: the
+	// names to chase through genet-inspect -serve and Perfetto.
+	sorted := make([]reqResult, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].lat > sorted[b].lat })
+	for i := 0; i < len(sorted) && i < slowestKeep; i++ {
+		rep.Slowest = append(rep.Slowest, SlowRequest{
+			Trace:   sorted[i].trace,
+			Outcome: sorted[i].outcome,
+			LatSec:  sorted[i].lat,
+		})
 	}
 	return rep, nil
 }
+
+// slowestKeep is how many worst-latency requests a report names.
+const slowestKeep = 10
 
 // SaturationReport is a sweep of open-loop runs across offered rates — the
 // saturation curve: goodput vs offered load, with shed and timeout counts
@@ -366,11 +451,11 @@ type SaturationReport struct {
 func (r SaturationReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "saturation curve (%s):\n", r.UseCase)
-	fmt.Fprintf(&b, "  %10s %10s %8s %8s %8s %8s %10s\n",
-		"offered/s", "goodput/s", "shed", "breaker", "timeout", "errors", "p99_ms")
+	fmt.Fprintf(&b, "  %10s %10s %8s %8s %8s %8s %10s %10s %10s\n",
+		"offered/s", "goodput/s", "shed", "breaker", "timeout", "errors", "p99_ms", "p999_ms", "max_ms")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "  %10.0f %10.0f %8d %8d %8d %8d %10.3f\n",
-			p.OfferedRate, p.Goodput, p.Shed, p.BreakerFast, p.Timeout, p.Errors, p.P99*1e3)
+		fmt.Fprintf(&b, "  %10.0f %10.0f %8d %8d %8d %8d %10.3f %10.3f %10.3f\n",
+			p.OfferedRate, p.Goodput, p.Shed, p.BreakerFast, p.Timeout, p.Errors, p.P99*1e3, p.P999*1e3, p.Max*1e3)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/genet-go/genet/internal/faults"
 	"github.com/genet-go/genet/internal/metrics"
+	"github.com/genet-go/genet/internal/obs"
 )
 
 // Metric names the server records. Latency lands in a histogram whose
@@ -36,6 +37,7 @@ const (
 	MetricModelFailures    = "serve/model_failures_total"
 	MetricInflight         = "serve/inflight"
 	MetricWatchErrors      = "serve/watch_errors_total"
+	MetricBadRequests      = "serve/bad_requests_total"
 )
 
 // RobustnessOptions opts a server into the overload/failure machinery. The
@@ -88,7 +90,31 @@ type Server struct {
 	deadline time.Duration
 	inj      *faults.Injector
 	spike    time.Duration
+
+	// obsrv is the request-level observability layer (nil = off; the hot
+	// path pays one nil check). Set via Instrument before serving traffic.
+	obsrv *Observer
+
+	// Swap history: a small always-on ring of accept/reject events so an
+	// operator can answer "what swapped, when, and why was it rejected"
+	// without scraping logs. histMu guards it; the decide path never touches
+	// it.
+	histMu   sync.Mutex
+	swapHist []SwapEvent
+	histNext int
 }
+
+// SwapEvent is one entry in the hot-swap history ring exposed at /swaps.
+type SwapEvent struct {
+	Time     time.Time `json:"time"`
+	Version  uint64    `json:"version"` // resulting version when accepted; serving version when rejected
+	Accepted bool      `json:"accepted"`
+	Reason   string    `json:"reason,omitempty"` // why a candidate was rejected
+}
+
+// swapHistoryCap bounds the ring: enough to cover a misbehaving watcher's
+// recent churn without unbounded growth.
+const swapHistoryCap = 32
 
 // New builds a server for useCase with an initial model (required: a
 // policy server with nothing to serve is a misconfiguration, not a state).
@@ -118,6 +144,21 @@ func (s *Server) Configure(o RobustnessOptions) {
 	}
 }
 
+// Instrument attaches the request-level observability layer: trace minting,
+// sampled spans, the access log, and SLO tracking. Call before serving
+// traffic (like Configure, it is not synchronized against in-flight
+// decides). A nil observer — the default — keeps the decide hot path at its
+// uninstrumented cost: a single nil check, pinned by TestDecideHotPathAllocs.
+func (s *Server) Instrument(o *Observer) {
+	if o != nil {
+		o.useCase = s.useCase
+	}
+	s.obsrv = o
+}
+
+// Observer returns the attached observability layer (nil = off).
+func (s *Server) Observer() *Observer { return s.obsrv }
+
 // UseCase returns the use case this server serves.
 func (s *Server) UseCase() string { return s.useCase }
 
@@ -145,11 +186,11 @@ func (s *Server) Deadline() time.Duration { return s.deadline }
 // gate).
 func (s *Server) Inflight() int { return s.gate.Inflight() }
 
-// Decide evaluates the live policy at obs with no caller deadline. It is
+// Decide evaluates the live policy at obsVec with no caller deadline. It is
 // the compatibility entry point for the Decider interface; new callers use
 // DecideCtx.
-func (s *Server) Decide(obs []float64) (Decision, error) {
-	return s.DecideCtx(context.Background(), obs)
+func (s *Server) Decide(obsVec []float64) (Decision, error) {
+	return s.DecideCtx(context.Background(), obsVec)
 }
 
 // DecideCtx answers one policy query under the caller's context. The
@@ -159,33 +200,48 @@ func (s *Server) Decide(obs []float64) (Decision, error) {
 // fails on this request. Client errors (wrong observation size) are never
 // treated as model failures.
 //
+// With an Observer attached, the request gets an identity at admission (the
+// trace ID propagated on ctx, or a freshly minted one), sampled spans
+// around its admit/decide/fallback phases, an access-log line, and SLO
+// accounting; the latency histogram records the trace as an exemplar for
+// sampled requests. Without one, every hook below is a nil check.
+//
 // Safe for any number of concurrent callers, including concurrently with
 // SwapFrom.
-func (s *Server) DecideCtx(ctx context.Context, obs []float64) (Decision, error) {
+func (s *Server) DecideCtx(ctx context.Context, obsVec []float64) (Decision, error) {
+	o := s.obsrv
 	var start time.Time
-	if s.reg.Enabled() {
+	if s.reg.Enabled() || o != nil {
 		start = time.Now()
 	}
+	tid, sampled := o.admit(ctx)
 
+	sp := o.span(sampled, SpanAdmit)
 	if err := s.gate.Acquire(ctx); err != nil {
+		o.endSpan(sp, tid)
 		s.countAdmissionFailure(err)
+		o.endRequest(ctx, start, tid, 0, Decision{}, err)
 		return Decision{}, err
 	}
 	defer s.gate.Release()
+	o.endSpan(sp, tid)
 
 	if err := ctx.Err(); err != nil {
 		s.countAdmissionFailure(err)
+		o.endRequest(ctx, start, tid, 0, Decision{}, err)
 		return Decision{}, err
 	}
 
 	m := s.cur.Load()
 	// Validate the request before touching the model: a malformed
 	// observation is the client's fault and must not feed quarantine.
-	if len(obs) != m.ObsSize() {
+	if len(obsVec) != m.ObsSize() {
 		if s.reg.Enabled() {
 			s.reg.Counter(MetricDecideErrors).Inc()
 		}
-		return Decision{}, fmt.Errorf("serve: observation has %d dims, %s model wants %d", len(obs), s.useCase, m.ObsSize())
+		err := fmt.Errorf("serve: observation has %d dims, %s model wants %d", len(obsVec), s.useCase, m.ObsSize())
+		o.endRequest(ctx, start, tid, m.version, Decision{}, err)
+		return Decision{}, err
 	}
 
 	// Chaos: a latency spike stalls the decide inside its deadline budget.
@@ -196,18 +252,24 @@ func (s *Server) DecideCtx(ctx context.Context, obs []float64) (Decision, error)
 		case <-ctx.Done():
 			t.Stop()
 			s.countAdmissionFailure(ctx.Err())
+			o.endRequest(ctx, start, tid, m.version, Decision{}, ctx.Err())
 			return Decision{}, ctx.Err()
 		}
 	}
 
 	if s.deg.Degraded() {
-		d, err := s.fallbackDecide(obs)
-		s.maybeProbe(m, obs)
-		s.observeDecide(start, err)
+		fsp := o.span(sampled, SpanFallback)
+		d, err := s.fallbackDecide(obsVec)
+		o.endSpan(fsp, tid)
+		s.maybeProbe(m, obsVec)
+		s.observeDecide(start, err, tid, sampled)
+		o.endRequest(ctx, start, tid, m.version, d, err)
 		return d, err
 	}
 
-	d, err := s.modelDecide(m, obs)
+	dsp := o.span(sampled, SpanDecide)
+	d, err := s.modelDecide(m, obsVec)
+	o.endSpan(dsp, tid)
 	if err != nil {
 		// Model failure: count it, maybe quarantine, and keep the client
 		// whole with a fallback decision for this request.
@@ -220,12 +282,16 @@ func (s *Server) DecideCtx(ctx context.Context, obs []float64) (Decision, error)
 				s.reg.Gauge(MetricDegraded).Set(1)
 			}
 		}
-		d, err = s.fallbackDecide(obs)
-		s.observeDecide(start, err)
+		fsp := o.span(sampled, SpanFallback)
+		d, err = s.fallbackDecide(obsVec)
+		o.endSpan(fsp, tid)
+		s.observeDecide(start, err, tid, sampled)
+		o.endRequest(ctx, start, tid, m.version, d, err)
 		return d, err
 	}
 	s.deg.recordSuccess()
-	s.observeDecide(start, nil)
+	s.observeDecide(start, nil, tid, sampled)
+	o.endRequest(ctx, start, tid, m.version, d, nil)
 	return d, nil
 }
 
@@ -234,7 +300,7 @@ func (s *Server) DecideCtx(ctx context.Context, obs []float64) (Decision, error)
 // outputs are rejected, and the decide-error chaos site can force a
 // failure. Any error return here is a *model* failure (inputs were already
 // validated).
-func (s *Server) modelDecide(m *Model, obs []float64) (d Decision, err error) {
+func (s *Server) modelDecide(m *Model, obsVec []float64) (d Decision, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: model decide panic: %v", r)
@@ -243,7 +309,7 @@ func (s *Server) modelDecide(m *Model, obs []float64) (d Decision, err error) {
 	if s.inj.Fire(faults.DecideError) {
 		return Decision{}, faults.Injected{Site: faults.DecideError}
 	}
-	d, err = m.Decide(obs)
+	d, err = m.Decide(obsVec)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -262,8 +328,8 @@ func (s *Server) modelDecide(m *Model, obs []float64) (d Decision, err error) {
 }
 
 // fallbackDecide serves the rule-based degraded-mode decision.
-func (s *Server) fallbackDecide(obs []float64) (Decision, error) {
-	d, err := FallbackDecision(s.useCase, obs)
+func (s *Server) fallbackDecide(obsVec []float64) (Decision, error) {
+	d, err := FallbackDecision(s.useCase, obsVec)
 	if s.reg.Enabled() && err == nil {
 		s.reg.Counter(MetricFallbacks).Inc()
 	}
@@ -273,11 +339,11 @@ func (s *Server) fallbackDecide(obs []float64) (Decision, error) {
 // maybeProbe, in degraded mode, evaluates the quarantined model off the
 // response path on every Nth arrival; enough consecutive good probes
 // restore full service.
-func (s *Server) maybeProbe(m *Model, obs []float64) {
+func (s *Server) maybeProbe(m *Model, obsVec []float64) {
 	if !s.deg.shouldProbe() {
 		return
 	}
-	_, perr := s.modelDecide(m, obs)
+	_, perr := s.modelDecide(m, obsVec)
 	if s.deg.probeResult(perr == nil) {
 		if s.reg.Enabled() {
 			s.reg.Gauge(MetricDegraded).Set(0)
@@ -299,12 +365,20 @@ func (s *Server) countAdmissionFailure(err error) {
 	}
 }
 
-// observeDecide records latency and outcome for an admitted request.
-func (s *Server) observeDecide(start time.Time, err error) {
+// observeDecide records latency and outcome for an admitted request. When
+// the request is span-sampled, its trace ID rides into the histogram bucket
+// as an exemplar — the p99 bucket then names a concrete trace whose spans
+// are guaranteed to be in the recorder.
+func (s *Server) observeDecide(start time.Time, err error, tid obs.TraceID, sampled bool) {
 	if !s.reg.Enabled() {
 		return
 	}
-	s.reg.Histogram(MetricDecideSeconds).Observe(time.Since(start).Seconds())
+	lat := time.Since(start).Seconds()
+	if sampled && tid != 0 {
+		s.reg.Histogram(MetricDecideSeconds).ObserveExemplar(lat, uint64(tid))
+	} else {
+		s.reg.Histogram(MetricDecideSeconds).Observe(lat)
+	}
 	if err != nil {
 		s.reg.Counter(MetricDecideErrors).Inc()
 	} else {
@@ -320,6 +394,32 @@ func (s *Server) swapIn(m *Model) {
 	if s.reg.Enabled() {
 		s.reg.Gauge(MetricModelVersion).Set(float64(v))
 	}
+	s.recordSwapEvent(SwapEvent{Time: time.Now(), Version: v, Accepted: true})
+	s.obsrv.swapInstant(true, v)
+}
+
+// recordSwapEvent appends to the swap-history ring, dropping the oldest
+// entry once full.
+func (s *Server) recordSwapEvent(ev SwapEvent) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if len(s.swapHist) < swapHistoryCap {
+		s.swapHist = append(s.swapHist, ev)
+		return
+	}
+	s.swapHist[s.histNext] = ev
+	s.histNext = (s.histNext + 1) % swapHistoryCap
+}
+
+// SwapHistory returns the recent swap accept/reject events, oldest first —
+// the /swaps response body.
+func (s *Server) SwapHistory() []SwapEvent {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make([]SwapEvent, 0, len(s.swapHist))
+	out = append(out, s.swapHist[s.histNext:]...)
+	out = append(out, s.swapHist[:s.histNext]...)
+	return out
 }
 
 // Swap validates m against the server's use case and publishes it.
@@ -329,7 +429,7 @@ func (s *Server) Swap(m *Model) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if m == nil || m.useCase != s.useCase {
-		s.rejectSwap()
+		s.rejectSwap("model use case does not match server")
 		return fmt.Errorf("serve: swap rejected: model use case does not match server %q", s.useCase)
 	}
 	s.swapIn(m)
@@ -356,7 +456,7 @@ func (s *Server) SwapFrom(path string) error {
 		m, err = nil, faults.Injected{Site: faults.SwapCorrupt}
 	}
 	if err != nil {
-		s.rejectSwap()
+		s.rejectSwap(err.Error())
 		return fmt.Errorf("serve: swap rejected, keeping model v%d: %w", s.swaps.Load(), err)
 	}
 	s.swapIn(m)
@@ -366,10 +466,15 @@ func (s *Server) SwapFrom(path string) error {
 	return nil
 }
 
-func (s *Server) rejectSwap() {
+// rejectSwap records a rejected candidate: the counter, the history ring
+// (with the reason, so /swaps explains itself), and a span instant.
+func (s *Server) rejectSwap(reason string) {
 	if s.reg.Enabled() {
 		s.reg.Counter(MetricSwapsRejected).Inc()
 	}
+	v := s.swaps.Load()
+	s.recordSwapEvent(SwapEvent{Time: time.Now(), Version: v, Reason: reason})
+	s.obsrv.swapInstant(false, v)
 }
 
 // Snapshot returns the metrics snapshot with the decision-latency p50/p99
@@ -395,6 +500,13 @@ func (s *Server) Snapshot() metrics.Snapshot {
 	}
 	if s.gate != nil {
 		snap.Gauges[MetricInflight] = float64(s.gate.Inflight())
+	}
+	if o := s.obsrv; o != nil && o.slo != nil {
+		for _, w := range o.slo.Report().Windows {
+			suffix := fmt.Sprintf("%ds", int(w.Window.Seconds()))
+			snap.Gauges["serve/slo_availability_burn_"+suffix] = w.AvailabilityBurn
+			snap.Gauges["serve/slo_latency_burn_"+suffix] = w.LatencyBurn
+		}
 	}
 	return snap
 }

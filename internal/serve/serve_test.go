@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -269,6 +270,12 @@ func TestHotSwapRace(t *testing.T) {
 		if err := s.SwapFrom(p); err != nil {
 			t.Fatalf("swap %d: %v", i, err)
 		}
+	}
+	// On a single-CPU host the swap loop can finish before the decider
+	// goroutines ever get scheduled; hold the stop until the storm has
+	// demonstrably overlapped at least one decision (or a failure).
+	for decisions.Load() == 0 && failed.Load() == 0 {
+		runtime.Gosched()
 	}
 	close(stop)
 	wg.Wait()
